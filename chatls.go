@@ -1,0 +1,191 @@
+// Package chatls is the public facade of the ChatLS reproduction: a
+// framework that customizes logic-synthesis scripts from natural-language
+// requirements (DAC 2025, "ChatLS: Multimodal Retrieval-Augmented Generation
+// and Chain-of-Thought for Logic Synthesis Script Customization").
+//
+// The framework (Fig. 1/2 of the paper) combines four components:
+//
+//   - CircuitMentor (internal/circuitmentor): graph-based circuit analysis —
+//     RTL becomes a hierarchical graph stored in an embedded property-graph
+//     database, and a metric-learned GraphSAGE model embeds its modules.
+//   - SynthRAG (internal/synthrag): multimodal retrieval — graph-embedding
+//     search with domain-specific reranking over an expert strategy
+//     database, Cypher queries for design code and library cells, and
+//     text-embedding retrieval over the tool manual.
+//   - SynthExpert (internal/synthexpert): chain-of-thought refinement where
+//     every reasoning step retrieves supporting information and revises the
+//     drafted script (hallucinated commands, invalid options, ordering).
+//   - A generator LLM (internal/llm): simulated GPT-4o / Claude 3.5
+//     profiles sharing one text-driven policy, so pipeline structure — not
+//     the generator — differentiates the results.
+//
+// The synthesis tool itself (internal/synth over internal/netlist and
+// internal/sta) is a working logic-synthesis simulator, so script choices
+// change QoR through mechanism rather than lookup.
+package chatls
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuitmentor"
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/synth"
+	"repro/internal/synthexpert"
+	"repro/internal/synthrag"
+)
+
+// DefaultRequirement is the natural-language instruction used across the
+// evaluation ("identical prompt engineering" for every model, as in the
+// paper).
+const DefaultRequirement = "Customize the synthesis script to optimize timing: close all timing " +
+	"violations at the given clock period. Basic configurations (clock period, wireload model) " +
+	"must not change. Recover area where timing allows."
+
+// Task is one customization problem: a design plus the baseline script and
+// its report.
+type Task struct {
+	Design         *designs.Design
+	Requirement    string
+	Baseline       string
+	BaselineReport string
+	Lib            *liberty.Library
+}
+
+// NewTask runs the baseline script once and packages the customization
+// problem the way the paper's flow does (user provides design, script, and
+// tool reports).
+func NewTask(d *designs.Design, lib *liberty.Library) (*Task, synth.QoR, error) {
+	sess := synth.NewSession(lib)
+	sess.AddSource(d.FileName, d.Source)
+	res, err := sess.Run(d.BaselineScript())
+	if err != nil {
+		return nil, synth.QoR{}, fmt.Errorf("baseline %s: %v", d.Name, err)
+	}
+	return &Task{
+		Design:         d,
+		Requirement:    DefaultRequirement,
+		Baseline:       d.BaselineScript(),
+		BaselineReport: strings.Join(res.Reports, "\n"),
+		Lib:            lib,
+	}, *res.QoR, nil
+}
+
+// Pipeline generates a customized script for a task. Sample indexes the
+// Pass@k attempt.
+type Pipeline interface {
+	Name() string
+	Customize(t *Task, sample int) (string, error)
+}
+
+// RawPipeline is the baseline comparison: the generator sees the
+// requirement, the baseline script, the tool report, and the raw RTL —
+// exactly the single-shot prompting the paper compares against.
+type RawPipeline struct {
+	Model *llm.Model
+}
+
+// Name identifies the pipeline by its model profile.
+func (p *RawPipeline) Name() string { return p.Model.Profile.Name }
+
+// Customize performs one-shot prompting with the raw design text.
+func (p *RawPipeline) Customize(t *Task, sample int) (string, error) {
+	var b strings.Builder
+	b.WriteString("## Requirement\n")
+	b.WriteString(t.Requirement)
+	b.WriteString("\n\n## Baseline script\n")
+	b.WriteString(t.Baseline)
+	b.WriteString("\n## Synthesis report\n")
+	b.WriteString(t.BaselineReport)
+	b.WriteString("\n## RTL\n")
+	b.WriteString(t.Design.Source)
+	return p.Model.Generate(llm.GenRequest{Prompt: b.String(), Sample: sample}), nil
+}
+
+// ChatLSPipeline is the full framework: CircuitMentor analysis, SynthRAG
+// retrieval, generation, and SynthExpert chain-of-thought refinement.
+// The Disable flags implement the paper's ablations.
+type ChatLSPipeline struct {
+	Model  *llm.Model
+	DB     *synthrag.Database
+	Expert *synthexpert.Expert
+	// Rerank weights of Eq. 5.
+	Alpha, Beta float64
+	// Ablation switches.
+	DisableMentor bool // no design-characteristics analysis
+	DisableRAG    bool // no retrieved strategies
+	DisableExpert bool // no CoT refinement
+	// LastSteps records the CoT steps of the most recent Customize call.
+	LastSteps []synthexpert.Step
+}
+
+// NewChatLS assembles the standard pipeline over a built database.
+func NewChatLS(model *llm.Model, db *synthrag.Database) *ChatLSPipeline {
+	return &ChatLSPipeline{
+		Model:  model,
+		DB:     db,
+		Expert: synthexpert.New(model, db),
+		Alpha:  0.7,
+		Beta:   0.3,
+	}
+}
+
+// Name identifies the pipeline, noting active ablations.
+func (p *ChatLSPipeline) Name() string {
+	name := "chatls"
+	if p.DisableMentor {
+		name += "-nomentor"
+	}
+	if p.DisableRAG {
+		name += "-norag"
+	}
+	if p.DisableExpert {
+		name += "-noexpert"
+	}
+	return name
+}
+
+// Customize runs the full ChatLS flow of Fig. 2 for one sample.
+func (p *ChatLSPipeline) Customize(t *Task, sample int) (string, error) {
+	var b strings.Builder
+	b.WriteString("## Requirement\n")
+	b.WriteString(t.Requirement)
+	b.WriteString("\n")
+
+	var traits []string
+	if !p.DisableMentor {
+		analysis, err := circuitmentor.Analyze(t.Design.Source, t.Design.Top, t.Design.Period, t.Lib)
+		if err != nil {
+			return "", fmt.Errorf("circuitmentor: %v", err)
+		}
+		traits = analysis.Traits
+		b.WriteString("\n## Design characteristics\n")
+		b.WriteString(analysis.Render())
+	}
+
+	if !p.DisableRAG {
+		emb, _, err := p.DB.EmbedDesign(t.Design.Source, t.Design.Top)
+		if err != nil {
+			return "", fmt.Errorf("embedding: %v", err)
+		}
+		hits := p.DB.RetrieveStrategiesFor(emb, traits, 2, p.Alpha, p.Beta, 0.25)
+		b.WriteString("\n## Retrieved strategies\n")
+		b.WriteString(synthrag.RenderStrategies(hits))
+	}
+
+	b.WriteString("\n## Baseline script\n")
+	b.WriteString(t.Baseline)
+	b.WriteString("\n## Synthesis report\n")
+	b.WriteString(t.BaselineReport)
+
+	draft := p.Model.Generate(llm.GenRequest{Prompt: b.String(), Sample: sample})
+	if p.DisableExpert {
+		p.LastSteps = nil
+		return draft, nil
+	}
+	refined, steps := p.Expert.Refine(draft, t.Baseline)
+	p.LastSteps = steps
+	return refined, nil
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	experiments -table 4     # Table IV: baseline QoR of the benchmarks
+//	experiments -table 3     # Table III: GPT-4o vs Claude 3.5 vs ChatLS (Pass@5)
+//	experiments -table 2     # Table II: the SynthRAG database corpus
+//	experiments -fig 5       # Fig. 5: SynthRAG retrieval F1
+//	experiments -ablation    # component ablations
+//	experiments -all         # everything
+//
+// All runs are seeded and deterministic; -seed overrides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	chatls "repro"
+	"repro/internal/designs"
+	"repro/internal/synthrag"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (2, 3, or 4)")
+	fig := flag.Int("fig", 0, "regenerate a figure (5)")
+	ablation := flag.Bool("ablation", false, "run the component ablations")
+	rerank := flag.Bool("rerank", false, "run the Eq. 5 rerank-weight sweep")
+	iterate := flag.Bool("iterate", false, "run the iterative-resynthesis study")
+	all := flag.Bool("all", false, "run every experiment")
+	seed := flag.Int64("seed", 0, "override the experiment seed")
+	k := flag.Int("k", 0, "override Pass@k sample count")
+	flag.Parse()
+
+	cfg := chatls.DefaultConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *k != 0 {
+		cfg.K = *k
+	}
+
+	wantTable := func(n int) bool { return *all || *table == n }
+	wantFig := func(n int) bool { return *all || *fig == n }
+
+	var db *synthrag.Database
+	needDB := wantTable(2) || wantTable(3) || *all || *ablation || *rerank || *iterate
+	if needDB {
+		fmt.Fprintln(os.Stderr, "building SynthRAG database (expert-draft synthesis)...")
+		var err error
+		db, err = chatls.BuildDatabase(cfg)
+		fatal(err)
+	}
+
+	if wantTable(2) {
+		fmt.Println(chatls.FormatTable2(chatls.Table2(db)))
+	}
+	if wantTable(4) {
+		rows, err := chatls.Table4(cfg)
+		fatal(err)
+		fmt.Println(chatls.FormatTable4(rows))
+	}
+	if wantTable(3) {
+		fmt.Fprintln(os.Stderr, "running Table III (3 pipelines x 7 designs x Pass@5)...")
+		rows, err := chatls.Table3(cfg, db)
+		fatal(err)
+		fmt.Println(chatls.FormatTable3(rows))
+	}
+	if wantFig(5) {
+		fmt.Fprintln(os.Stderr, "running Fig. 5 retrieval evaluation...")
+		points, err := chatls.Fig5(cfg)
+		fatal(err)
+		fmt.Println(chatls.FormatFig5(points))
+	}
+	if *ablation || *all {
+		fmt.Fprintln(os.Stderr, "running ablations...")
+		rows, err := chatls.Ablations(cfg, db)
+		fatal(err)
+		fmt.Println(chatls.FormatAblations(rows))
+	}
+	if *rerank || *all {
+		fmt.Fprintln(os.Stderr, "running rerank-weight sweep...")
+		points, err := chatls.RerankSweep(cfg, db)
+		fatal(err)
+		fmt.Println(chatls.FormatRerankSweep(points))
+	}
+	if *iterate || *all {
+		fmt.Fprintln(os.Stderr, "running iterative-resynthesis study...")
+		itCfg := cfg
+		itCfg.Designs = []*designs.Design{designs.EthMAC(), designs.TinyRocket(), designs.JPEG()}
+		rows, err := chatls.IterativeClosure(itCfg, db, 3)
+		fatal(err)
+		fmt.Println(chatls.FormatIterations(rows))
+	}
+	if !needDB && !wantTable(4) && !wantFig(5) {
+		flag.Usage()
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+package chatls
+
+import (
+	"fmt"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/synth"
+)
+
+// SampleOutcome records one Pass@k attempt.
+type SampleOutcome struct {
+	Script string
+	QoR    *synth.QoR
+	Err    string // non-empty when the script failed in the tool
+}
+
+// EvalResult is the Pass@k outcome for one (pipeline, design) cell of
+// Table III.
+type EvalResult struct {
+	Pipeline   string
+	Design     string
+	K          int
+	Baseline   synth.QoR
+	Best       synth.QoR
+	BestSample int // -1 when no sample produced a runnable script
+	Valid      int
+	Samples    []SampleOutcome
+}
+
+// Improved reports whether the best customized script beat the baseline on
+// timing.
+func (r EvalResult) Improved() bool {
+	return r.BestSample >= 0 && BetterTiming(r.Best, r.Baseline)
+}
+
+// BetterTiming orders QoR the way the evaluation selects the best sample:
+// WNS first, then CPS, then smaller area.
+func BetterTiming(a, b synth.QoR) bool {
+	if a.WNS != b.WNS {
+		return a.WNS > b.WNS
+	}
+	if a.CPS != b.CPS {
+		return a.CPS > b.CPS
+	}
+	return a.Area < b.Area
+}
+
+// RunPassK evaluates a pipeline on a design with k samples (the paper's
+// Pass@5 protocol): each sample's script runs through the synthesis tool;
+// scripts that fail (hallucinated commands, bad options) count as invalid;
+// the best valid QoR is reported. When every sample fails, the baseline QoR
+// stands (the customization attempt is wasted, not destructive).
+func RunPassK(p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalResult, error) {
+	task, baseQoR, err := NewTask(d, lib)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	res := EvalResult{
+		Pipeline:   p.Name(),
+		Design:     d.Name,
+		K:          k,
+		Baseline:   baseQoR,
+		Best:       baseQoR,
+		BestSample: -1,
+	}
+	for s := 0; s < k; s++ {
+		script, err := p.Customize(task, s)
+		if err != nil {
+			res.Samples = append(res.Samples, SampleOutcome{Err: fmt.Sprintf("customize: %v", err)})
+			continue
+		}
+		sess := synth.NewSession(lib)
+		sess.AddSource(d.FileName, d.Source)
+		run, err := sess.Run(script)
+		if err != nil {
+			res.Samples = append(res.Samples, SampleOutcome{Script: script, Err: err.Error()})
+			continue
+		}
+		res.Valid++
+		res.Samples = append(res.Samples, SampleOutcome{Script: script, QoR: run.QoR})
+		if res.BestSample < 0 || BetterTiming(*run.QoR, res.Best) {
+			res.Best = *run.QoR
+			res.BestSample = s
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package chatls
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+)
+
+// brokenPipeline always emits a script that dies in the tool.
+type brokenPipeline struct{}
+
+func (brokenPipeline) Name() string { return "broken" }
+func (brokenPipeline) Customize(t *Task, sample int) (string, error) {
+	return "optimize_timing -aggressive\n", nil
+}
+
+// TestRunPassKFallsBackToBaseline: when every sample fails, the evaluation
+// reports the baseline QoR (a wasted customization attempt, not a
+// destroyed design).
+func TestRunPassKFallsBackToBaseline(t *testing.T) {
+	res, err := RunPassK(brokenPipeline{}, designs.RiscV32i(), 3, testLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid != 0 || res.BestSample != -1 {
+		t.Errorf("broken pipeline should produce no valid samples: %+v", res)
+	}
+	if res.Best != res.Baseline {
+		t.Error("best must fall back to baseline")
+	}
+	if res.Improved() {
+		t.Error("fallback must not count as improvement")
+	}
+	for _, s := range res.Samples {
+		if s.Err == "" {
+			t.Error("every sample should carry an error")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// GraphDB tour: the embedded property-graph database and its Cypher subset,
+// used the way CircuitMentor uses Neo4j — store a circuit's hierarchical
+// graph and answer structural questions with path queries.
+//
+//	go run ./examples/graphdb_tour
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuitmentor"
+	"repro/internal/designs"
+	"repro/internal/graphdb"
+)
+
+func main() {
+	db := graphdb.New()
+
+	// Load two benchmark designs as hierarchical graphs.
+	for _, d := range []*designs.Design{designs.JPEG(), designs.RiscV32i()} {
+		dg, err := circuitmentor.BuildGraph(d.Source, d.Top)
+		if err != nil {
+			log.Fatal(err)
+		}
+		circuitmentor.LoadIntoDB(db, dg, map[string]any{"name": d.Name, "category": d.Category})
+	}
+	fmt.Printf("graph database: %d nodes, %d relationships\n\n", db.NodeCount(), db.RelCount())
+
+	run := func(q string, params map[string]any) {
+		fmt.Println("cypher>", q)
+		res, err := db.Query(q, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, row := range res.Rows {
+			if i >= 6 {
+				fmt.Printf("  ... %d more rows\n", len(res.Rows)-6)
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+		fmt.Println()
+	}
+
+	// Which modules does each design contain?
+	run(`MATCH (d:Design {name: 'riscv32i'})-[:CONTAINS]->(m:Module) RETURN m.name, m.nodes ORDER BY m.nodes DESC`, nil)
+
+	// Walk the instantiation hierarchy (variable-length path): everything
+	// reachable from the jpeg top within four levels.
+	run(`MATCH (t:Module {name: 'jpeg'})-[:INSTANTIATES*1..4]->(s:Module) RETURN s.name ORDER BY s.name LIMIT 8`, nil)
+
+	// The query SynthRAG issues for path-located module code.
+	run(`MATCH (m:Module {name: $mod, design: $design}) RETURN m.code AS source`, map[string]any{
+		"mod": "rv_alu", "design": "riscv32i",
+	})
+
+	// Filtering with WHERE: large leaf modules.
+	run(`MATCH (m:Module) WHERE m.nodes > 10 AND NOT m.name CONTAINS 'wrap' RETURN m.design, m.name, m.nodes ORDER BY m.nodes DESC LIMIT 5`, nil)
+
+	// Aggregation: how deep is the jpeg wrapper nest?
+	run(`MATCH (t:Module {name: 'jpeg'})-[:INSTANTIATES*1..16]->(s:Module) WHERE s.name CONTAINS 'wrap' RETURN count(s)`, nil)
+}

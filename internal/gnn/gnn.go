@@ -1,0 +1,287 @@
+// Package gnn implements the hierarchical GraphSAGE network CircuitMentor
+// uses to embed circuit modules (paper §IV-A, Eq. 3): two SAGE layers with a
+// mean/max/sum neighbourhood aggregator, per-module mean pooling into module
+// embeddings, and global mean pooling into a design embedding. Training uses
+// metric learning (contrastive or multi-similarity loss) so same-category
+// modules cluster in the embedding space, with gradients computed by full
+// backpropagation through the pooling and aggregation operators.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Graph is one circuit graph: node features, adjacency (undirected
+// neighbour lists), and the module each node belongs to.
+type Graph struct {
+	Feats     *tensor.Matrix // N x F input features
+	Adj       [][]int        // neighbour lists, N entries
+	ModuleOf  []int          // node -> module index, N entries
+	NumModule int
+}
+
+// Validate checks internal consistency.
+func (g *Graph) Validate() error {
+	n := g.Feats.Rows
+	if len(g.Adj) != n || len(g.ModuleOf) != n {
+		return fmt.Errorf("graph size mismatch: feats %d, adj %d, moduleOf %d", n, len(g.Adj), len(g.ModuleOf))
+	}
+	for i, nbrs := range g.Adj {
+		for _, u := range nbrs {
+			if u < 0 || u >= n {
+				return fmt.Errorf("node %d has out-of-range neighbour %d", i, u)
+			}
+		}
+	}
+	for i, m := range g.ModuleOf {
+		if m < 0 || m >= g.NumModule {
+			return fmt.Errorf("node %d has out-of-range module %d", i, m)
+		}
+	}
+	return nil
+}
+
+// Aggregator selects the neighbourhood aggregation function.
+type Aggregator int
+
+const (
+	AggMean Aggregator = iota
+	AggMax
+	AggSum
+)
+
+// Config describes the model shape.
+type Config struct {
+	InDim  int
+	Hidden int
+	OutDim int
+	Agg    Aggregator
+	Seed   int64
+}
+
+// Model is a two-layer GraphSAGE with hierarchical pooling.
+type Model struct {
+	cfg Config
+	// Layer parameters: self and neighbour weights plus bias.
+	WSelf1, WNb1 *tensor.Matrix
+	B1           []float64
+	WSelf2, WNb2 *tensor.Matrix
+	B2           []float64
+}
+
+// New creates a model with seeded Xavier initialization.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		cfg:    cfg,
+		WSelf1: tensor.NewRandom(cfg.InDim, cfg.Hidden, rng),
+		WNb1:   tensor.NewRandom(cfg.InDim, cfg.Hidden, rng),
+		B1:     make([]float64, cfg.Hidden),
+		WSelf2: tensor.NewRandom(cfg.Hidden, cfg.OutDim, rng),
+		WNb2:   tensor.NewRandom(cfg.Hidden, cfg.OutDim, rng),
+		B2:     make([]float64, cfg.OutDim),
+	}
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// aggregate applies the neighbourhood aggregator: out[v] = agg(h[u] for u
+// in N(v)). Isolated nodes aggregate to zero.
+func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
+	out := tensor.NewMatrix(h.Rows, h.Cols)
+	for v, nbrs := range adj {
+		if len(nbrs) == 0 {
+			continue
+		}
+		orow := out.Row(v)
+		switch agg {
+		case AggMean, AggSum:
+			for _, u := range nbrs {
+				urow := h.Row(u)
+				for j := range orow {
+					orow[j] += urow[j]
+				}
+			}
+			if agg == AggMean {
+				inv := 1.0 / float64(len(nbrs))
+				for j := range orow {
+					orow[j] *= inv
+				}
+			}
+		case AggMax:
+			first := true
+			for _, u := range nbrs {
+				urow := h.Row(u)
+				for j := range orow {
+					if first || urow[j] > orow[j] {
+						orow[j] = urow[j]
+					}
+				}
+				first = false
+			}
+		}
+	}
+	return out
+}
+
+// aggregateT applies the transpose of the mean/sum aggregation operator,
+// needed for backpropagation: grad_in[u] += grad_out[v]/|N(v)| for each v
+// with u in N(v).
+func aggregateT(g *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
+	out := tensor.NewMatrix(g.Rows, g.Cols)
+	for v, nbrs := range adj {
+		if len(nbrs) == 0 {
+			continue
+		}
+		w := 1.0
+		if agg == AggMean {
+			w = 1.0 / float64(len(nbrs))
+		}
+		grow := g.Row(v)
+		for _, u := range nbrs {
+			orow := out.Row(u)
+			for j := range orow {
+				orow[j] += w * grow[j]
+			}
+		}
+	}
+	return out
+}
+
+// forwardState retains intermediates for backprop.
+type forwardState struct {
+	g       *Graph
+	h0      *tensor.Matrix
+	agg0    *tensor.Matrix
+	h1      *tensor.Matrix
+	mask1   []bool
+	agg1    *tensor.Matrix
+	h2      *tensor.Matrix // node embeddings
+	modules *tensor.Matrix // module embeddings (mean pooled)
+	modSize []int
+}
+
+// forward computes node, module, and global embeddings.
+func (m *Model) forward(g *Graph) *forwardState {
+	st := &forwardState{g: g, h0: g.Feats}
+	st.agg0 = aggregate(st.h0, g.Adj, m.cfg.Agg)
+	z1 := tensor.MatMul(st.h0, m.WSelf1)
+	tensor.AddInPlace(z1, tensor.MatMul(st.agg0, m.WNb1))
+	tensor.AddRowVector(z1, m.B1)
+	st.mask1 = tensor.ReLUInPlace(z1)
+	st.h1 = z1
+
+	st.agg1 = aggregate(st.h1, g.Adj, m.cfg.Agg)
+	z2 := tensor.MatMul(st.h1, m.WSelf2)
+	tensor.AddInPlace(z2, tensor.MatMul(st.agg1, m.WNb2))
+	tensor.AddRowVector(z2, m.B2)
+	st.h2 = z2
+
+	// Hierarchical pooling: module embedding = mean of its node embeddings.
+	st.modules = tensor.NewMatrix(g.NumModule, m.cfg.OutDim)
+	st.modSize = make([]int, g.NumModule)
+	for v := 0; v < g.Feats.Rows; v++ {
+		mi := g.ModuleOf[v]
+		st.modSize[mi]++
+		mrow := st.modules.Row(mi)
+		vrow := st.h2.Row(v)
+		for j := range mrow {
+			mrow[j] += vrow[j]
+		}
+	}
+	for mi := 0; mi < g.NumModule; mi++ {
+		if st.modSize[mi] > 0 {
+			inv := 1.0 / float64(st.modSize[mi])
+			mrow := st.modules.Row(mi)
+			for j := range mrow {
+				mrow[j] *= inv
+			}
+		}
+	}
+	return st
+}
+
+// Embed returns the module embeddings (one row per module) for a graph.
+func (m *Model) Embed(g *Graph) *tensor.Matrix {
+	return m.forward(g).modules.Clone()
+}
+
+// EmbedGlobal returns the design-level embedding: the mean of all module
+// embeddings (paper: global pooling so flattened or single-module designs
+// still embed meaningfully).
+func (m *Model) EmbedGlobal(g *Graph) []float64 {
+	mods := m.forward(g).modules
+	rows := make([][]float64, mods.Rows)
+	for i := range rows {
+		rows[i] = mods.Row(i)
+	}
+	return tensor.Mean(rows)
+}
+
+// EmbedNodes returns per-node embeddings.
+func (m *Model) EmbedNodes(g *Graph) *tensor.Matrix {
+	return m.forward(g).h2.Clone()
+}
+
+// backward propagates module-embedding gradients into parameter gradients.
+func (m *Model) backward(st *forwardState, dModules *tensor.Matrix, grads *Grads) {
+	g := st.g
+	// Unpool: node gradient = module gradient / module size.
+	dH2 := tensor.NewMatrix(st.h2.Rows, st.h2.Cols)
+	for v := 0; v < st.h2.Rows; v++ {
+		mi := g.ModuleOf[v]
+		if st.modSize[mi] == 0 {
+			continue
+		}
+		inv := 1.0 / float64(st.modSize[mi])
+		drow := dModules.Row(mi)
+		vrow := dH2.Row(v)
+		for j := range vrow {
+			vrow[j] = inv * drow[j]
+		}
+	}
+	// Layer 2.
+	tensor.AddInPlace(grads.WSelf2, tensor.MatMulATB(st.h1, dH2))
+	tensor.AddInPlace(grads.WNb2, tensor.MatMulATB(st.agg1, dH2))
+	addColSums(grads.B2, dH2)
+	dH1 := tensor.MatMulABT(dH2, m.WSelf2)
+	dAgg1 := tensor.MatMulABT(dH2, m.WNb2)
+	tensor.AddInPlace(dH1, aggregateT(dAgg1, g.Adj, m.cfg.Agg))
+	tensor.MaskInPlace(dH1, st.mask1)
+	// Layer 1.
+	tensor.AddInPlace(grads.WSelf1, tensor.MatMulATB(st.h0, dH1))
+	tensor.AddInPlace(grads.WNb1, tensor.MatMulATB(st.agg0, dH1))
+	addColSums(grads.B1, dH1)
+}
+
+func addColSums(dst []float64, m *tensor.Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range dst {
+			dst[j] += row[j]
+		}
+	}
+}
+
+// Grads accumulates parameter gradients.
+type Grads struct {
+	WSelf1, WNb1 *tensor.Matrix
+	B1           []float64
+	WSelf2, WNb2 *tensor.Matrix
+	B2           []float64
+}
+
+func newGrads(cfg Config) *Grads {
+	return &Grads{
+		WSelf1: tensor.NewMatrix(cfg.InDim, cfg.Hidden),
+		WNb1:   tensor.NewMatrix(cfg.InDim, cfg.Hidden),
+		B1:     make([]float64, cfg.Hidden),
+		WSelf2: tensor.NewMatrix(cfg.Hidden, cfg.OutDim),
+		WNb2:   tensor.NewMatrix(cfg.Hidden, cfg.OutDim),
+		B2:     make([]float64, cfg.OutDim),
+	}
+}

@@ -1,0 +1,498 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a query: column names and rows of values.
+// Node-valued columns contain *Node.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Strings returns a column's values as strings (non-strings are skipped).
+func (r *Result) Strings(col string) []string {
+	idx := r.colIndex(col)
+	if idx < 0 {
+		return nil
+	}
+	var out []string
+	for _, row := range r.Rows {
+		if s, ok := row[idx].(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the single value of a 1x1 result, or nil.
+func (r *Result) Value() any {
+	if len(r.Rows) == 1 && len(r.Rows[0]) == 1 {
+		return r.Rows[0][0]
+	}
+	return nil
+}
+
+func (r *Result) colIndex(col string) int {
+	for i, c := range r.Columns {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Query executes a Cypher-subset query with optional parameters.
+func (db *DB) Query(q string, params map[string]any) (*Result, error) {
+	ast, err := parseCypher(q)
+	if err != nil {
+		return nil, fmt.Errorf("cypher: %v", err)
+	}
+	if ast.create != nil {
+		return db.execCreate(ast, params)
+	}
+	return db.execMatch(ast, params)
+}
+
+// MustQuery panics on error; for tests and fixed internal queries.
+func (db *DB) MustQuery(q string, params map[string]any) *Result {
+	r, err := db.Query(q, params)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (db *DB) execCreate(ast *cypherQuery, params map[string]any) (*Result, error) {
+	created := 0
+	vars := make(map[string]*Node)
+	for _, pat := range ast.create {
+		var prev *Node
+		for i, np := range pat.nodes {
+			var n *Node
+			if np.variable != "" && vars[np.variable] != nil {
+				n = vars[np.variable]
+			} else {
+				props := make(map[string]any)
+				for k, e := range np.props {
+					v, err := evalConst(e, params)
+					if err != nil {
+						return nil, err
+					}
+					props[k] = v
+				}
+				n = db.CreateNode(np.labels, props)
+				created++
+				if np.variable != "" {
+					vars[np.variable] = n
+				}
+			}
+			if i > 0 {
+				rel := pat.rels[i-1]
+				if rel.varLen {
+					return nil, fmt.Errorf("cannot CREATE variable-length relationships")
+				}
+				if rel.reverse {
+					db.CreateRel(n, prev, rel.relType, nil)
+				} else {
+					db.CreateRel(prev, n, rel.relType, nil)
+				}
+			}
+			prev = n
+		}
+	}
+	return &Result{Columns: []string{"created"}, Rows: [][]any{{int64(created)}}}, nil
+}
+
+func evalConst(e exprAST, params map[string]any) (any, error) {
+	switch v := e.(type) {
+	case litExpr:
+		return v.val, nil
+	case paramExpr:
+		val, ok := params[v.name]
+		if !ok {
+			return nil, fmt.Errorf("missing parameter $%s", v.name)
+		}
+		return val, nil
+	}
+	return nil, fmt.Errorf("expression is not constant")
+}
+
+// binding maps pattern variables to matched nodes.
+type binding map[string]*Node
+
+func (db *DB) execMatch(ast *cypherQuery, params map[string]any) (*Result, error) {
+	bindings := []binding{{}}
+	for _, pat := range ast.match {
+		var next []binding
+		for _, b := range bindings {
+			matches, err := db.matchPattern(pat, b, params)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matches...)
+		}
+		bindings = next
+	}
+	// WHERE filter.
+	if ast.where != nil {
+		var kept []binding
+		for _, b := range bindings {
+			v, err := evalExpr(ast.where, b, params)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	// Aggregation?
+	hasCount := false
+	for _, it := range ast.returns {
+		if _, ok := it.expr.(countExpr); ok {
+			hasCount = true
+		}
+	}
+	res := &Result{}
+	for _, it := range ast.returns {
+		res.Columns = append(res.Columns, it.alias)
+	}
+	if hasCount {
+		row := make([]any, len(ast.returns))
+		for i, it := range ast.returns {
+			if _, ok := it.expr.(countExpr); ok {
+				row[i] = int64(len(bindings))
+			} else if len(bindings) > 0 {
+				v, err := evalExpr(it.expr, bindings[0], params)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		return res, nil
+	}
+	type sortableRow struct {
+		row []any
+		key any
+	}
+	var rows []sortableRow
+	for _, b := range bindings {
+		row := make([]any, len(ast.returns))
+		for i, it := range ast.returns {
+			v, err := evalExpr(it.expr, b, params)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		sr := sortableRow{row: row}
+		if ast.orderBy != nil {
+			k, err := evalExpr(ast.orderBy, b, params)
+			if err != nil {
+				return nil, err
+			}
+			sr.key = k
+		}
+		rows = append(rows, sr)
+	}
+	if ast.orderBy != nil {
+		sort.SliceStable(rows, func(i, j int) bool {
+			less, err := valueLess(rows[i].key, rows[j].key)
+			if err != nil {
+				return false
+			}
+			if ast.orderDesc {
+				return !less && !valueEq(rows[i].key, rows[j].key)
+			}
+			return less
+		})
+	}
+	for i, sr := range rows {
+		if ast.limit > 0 && i >= ast.limit {
+			break
+		}
+		res.Rows = append(res.Rows, sr.row)
+	}
+	return res, nil
+}
+
+// matchPattern extends a binding with all ways the pattern matches.
+func (db *DB) matchPattern(pat *patternAST, base binding, params map[string]any) ([]binding, error) {
+	// Candidates for the first node.
+	first := pat.nodes[0]
+	cands, err := db.nodeCandidates(first, base, params)
+	if err != nil {
+		return nil, err
+	}
+	var out []binding
+	for _, start := range cands {
+		b := cloneBinding(base)
+		if first.variable != "" {
+			b[first.variable] = start
+		}
+		exts, err := db.extend(pat, 1, start, b, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exts...)
+	}
+	return out, nil
+}
+
+func cloneBinding(b binding) binding {
+	nb := make(binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+func (db *DB) nodeCandidates(np *nodePat, base binding, params map[string]any) ([]*Node, error) {
+	if np.variable != "" {
+		if n, bound := base[np.variable]; bound {
+			ok, err := db.nodeMatches(np, n, params)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return []*Node{n}, nil
+			}
+			return nil, nil
+		}
+	}
+	var pool []*Node
+	if len(np.labels) > 0 {
+		pool = db.byLabel[np.labels[0]]
+	} else {
+		pool = db.AllNodes()
+	}
+	var out []*Node
+	for _, n := range pool {
+		ok, err := db.nodeMatches(np, n, params)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) nodeMatches(np *nodePat, n *Node, params map[string]any) (bool, error) {
+	for _, l := range np.labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	for k, e := range np.props {
+		want, err := evalConst(e, params)
+		if err != nil {
+			return false, err
+		}
+		if !valueEq(n.Props[k], want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// extend matches pattern element idx (a relationship plus node) from cur.
+func (db *DB) extend(pat *patternAST, idx int, cur *Node, b binding, params map[string]any) ([]binding, error) {
+	if idx >= len(pat.nodes) {
+		return []binding{b}, nil
+	}
+	rel := pat.rels[idx-1]
+	np := pat.nodes[idx]
+	targets := db.relTargets(cur, rel)
+	var out []binding
+	for _, tgt := range targets {
+		ok, err := db.nodeMatches(np, tgt, params)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if np.variable != "" {
+			if bound, exists := b[np.variable]; exists && bound != tgt {
+				continue
+			}
+		}
+		nb := cloneBinding(b)
+		if np.variable != "" {
+			nb[np.variable] = tgt
+		}
+		exts, err := db.extend(pat, idx+1, tgt, nb, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exts...)
+	}
+	return out, nil
+}
+
+// relTargets lists nodes reachable from cur over the relationship pattern,
+// honoring direction and variable-length bounds.
+func (db *DB) relTargets(cur *Node, rel *relPat) []*Node {
+	step := func(n *Node) []*Node {
+		var rels []*Rel
+		if rel.reverse {
+			rels = n.In(rel.relType)
+		} else {
+			rels = n.Out(rel.relType)
+		}
+		out := make([]*Node, 0, len(rels))
+		for _, r := range rels {
+			if rel.reverse {
+				out = append(out, r.From)
+			} else {
+				out = append(out, r.To)
+			}
+		}
+		return out
+	}
+	if !rel.varLen {
+		return step(cur)
+	}
+	// BFS collecting nodes at depth [minHops, maxHops].
+	type item struct {
+		n     *Node
+		depth int
+	}
+	seen := map[*Node]bool{cur: true}
+	var out []*Node
+	queue := []item{{cur, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth >= rel.maxHops {
+			continue
+		}
+		for _, nxt := range step(it.n) {
+			if seen[nxt] {
+				continue
+			}
+			seen[nxt] = true
+			d := it.depth + 1
+			if d >= rel.minHops {
+				out = append(out, nxt)
+			}
+			queue = append(queue, item{nxt, d})
+		}
+	}
+	return out
+}
+
+func evalExpr(e exprAST, b binding, params map[string]any) (any, error) {
+	switch v := e.(type) {
+	case litExpr:
+		return v.val, nil
+	case paramExpr:
+		val, ok := params[v.name]
+		if !ok {
+			return nil, fmt.Errorf("missing parameter $%s", v.name)
+		}
+		return val, nil
+	case varExpr:
+		n, ok := b[v.name]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable %q", v.name)
+		}
+		return n, nil
+	case propExpr:
+		n, ok := b[v.variable]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable %q", v.variable)
+		}
+		return n.Props[v.prop], nil
+	case cmpExpr:
+		l, err := evalExpr(v.l, b, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(v.r, b, params)
+		if err != nil {
+			return nil, err
+		}
+		switch v.op {
+		case "=":
+			return valueEq(l, r), nil
+		case "<>":
+			return !valueEq(l, r), nil
+		case "<", "<=", ">", ">=":
+			less, err := valueLess(l, r)
+			if err != nil {
+				return nil, err
+			}
+			eq := valueEq(l, r)
+			switch v.op {
+			case "<":
+				return less, nil
+			case "<=":
+				return less || eq, nil
+			case ">":
+				return !less && !eq, nil
+			case ">=":
+				return !less, nil
+			}
+		case "CONTAINS":
+			ls, lok := l.(string)
+			rs, rok := r.(string)
+			if !lok || !rok {
+				return nil, fmt.Errorf("CONTAINS needs strings")
+			}
+			return strings.Contains(ls, rs), nil
+		case "STARTS_WITH":
+			ls, lok := l.(string)
+			rs, rok := r.(string)
+			if !lok || !rok {
+				return nil, fmt.Errorf("STARTS WITH needs strings")
+			}
+			return strings.HasPrefix(ls, rs), nil
+		}
+		return nil, fmt.Errorf("unknown comparison %q", v.op)
+	case boolExpr:
+		l, err := evalExpr(v.l, b, params)
+		if err != nil {
+			return nil, err
+		}
+		if v.op == "AND" && !truthy(l) {
+			return false, nil
+		}
+		if v.op == "OR" && truthy(l) {
+			return true, nil
+		}
+		r, err := evalExpr(v.r, b, params)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(r), nil
+	case notExpr:
+		x, err := evalExpr(v.x, b, params)
+		if err != nil {
+			return nil, err
+		}
+		return !truthy(x), nil
+	case countExpr:
+		return nil, fmt.Errorf("count() only allowed in RETURN")
+	}
+	return nil, fmt.Errorf("unsupported expression")
+}
+
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case nil:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package graphdb is an embedded in-memory property-graph database with a
+// Cypher-subset query language, standing in for the Neo4j + Cypher stack the
+// paper uses to store circuit graphs. Nodes carry labels and properties,
+// relationships are typed and directed, and queries support MATCH patterns
+// with relationship chains, variable-length paths, WHERE filters,
+// parameters, ORDER BY / LIMIT, and count() aggregation — everything
+// SynthRAG's graph-structure retrieval issues.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a labeled property vertex.
+type Node struct {
+	ID     int64
+	Labels []string
+	Props  map[string]any
+	out    []*Rel
+	in     []*Rel
+}
+
+// HasLabel reports whether the node carries the label.
+func (n *Node) HasLabel(label string) bool {
+	for _, l := range n.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns outgoing relationships, optionally filtered by type
+// (empty string matches all).
+func (n *Node) Out(relType string) []*Rel {
+	return filterRels(n.out, relType)
+}
+
+// In returns incoming relationships, optionally filtered by type.
+func (n *Node) In(relType string) []*Rel {
+	return filterRels(n.in, relType)
+}
+
+func filterRels(rels []*Rel, relType string) []*Rel {
+	if relType == "" {
+		return rels
+	}
+	var out []*Rel
+	for _, r := range rels {
+		if r.Type == relType {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Rel is a directed, typed relationship.
+type Rel struct {
+	Type  string
+	From  *Node
+	To    *Node
+	Props map[string]any
+}
+
+// DB is the graph store.
+type DB struct {
+	nodes   map[int64]*Node
+	nextID  int64
+	byLabel map[string][]*Node
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{nodes: make(map[int64]*Node), byLabel: make(map[string][]*Node)}
+}
+
+// CreateNode adds a node with the given labels and properties.
+func (db *DB) CreateNode(labels []string, props map[string]any) *Node {
+	if props == nil {
+		props = make(map[string]any)
+	}
+	n := &Node{ID: db.nextID, Labels: labels, Props: props}
+	db.nextID++
+	db.nodes[n.ID] = n
+	for _, l := range labels {
+		db.byLabel[l] = append(db.byLabel[l], n)
+	}
+	return n
+}
+
+// CreateRel links from -> to with a typed relationship.
+func (db *DB) CreateRel(from, to *Node, relType string, props map[string]any) *Rel {
+	if props == nil {
+		props = make(map[string]any)
+	}
+	r := &Rel{Type: relType, From: from, To: to, Props: props}
+	from.out = append(from.out, r)
+	to.in = append(to.in, r)
+	return r
+}
+
+// Node returns the node with the given ID, or nil.
+func (db *DB) Node(id int64) *Node { return db.nodes[id] }
+
+// NodeCount returns the number of nodes.
+func (db *DB) NodeCount() int { return len(db.nodes) }
+
+// RelCount returns the number of relationships.
+func (db *DB) RelCount() int {
+	n := 0
+	for _, node := range db.nodes {
+		n += len(node.out)
+	}
+	return n
+}
+
+// ByLabel returns all nodes carrying a label, in insertion order.
+func (db *DB) ByLabel(label string) []*Node {
+	return append([]*Node(nil), db.byLabel[label]...)
+}
+
+// AllNodes returns every node sorted by ID.
+func (db *DB) AllNodes() []*Node {
+	out := make([]*Node, 0, len(db.nodes))
+	for _, n := range db.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindOne returns the first node with the label whose property equals the
+// value, or nil.
+func (db *DB) FindOne(label, prop string, value any) *Node {
+	for _, n := range db.byLabel[label] {
+		if valueEq(n.Props[prop], value) {
+			return n
+		}
+	}
+	return nil
+}
+
+// Find returns all nodes with the label matching every property filter.
+func (db *DB) Find(label string, filters map[string]any) []*Node {
+	var out []*Node
+	for _, n := range db.byLabel[label] {
+		ok := true
+		for k, v := range filters {
+			if !valueEq(n.Props[k], v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// valueEq compares property values with numeric coercion between int64 and
+// float64, the way Cypher treats numbers.
+func valueEq(a, b any) bool {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			return af == bf
+		}
+		return false
+	}
+	return a == b
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+func valueLess(a, b any) (bool, error) {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			return af < bf, nil
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return as < bs, nil
+	}
+	return false, fmt.Errorf("cannot compare %T with %T", a, b)
+}

@@ -1,0 +1,367 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a writer and parser for a Liberty-format subset:
+// nested group statements "name (arg) { ... }" containing simple attributes
+// "name : value ;" and complex attributes "name (a, b);". The attribute
+// vocabulary is the simulator's linear delay model rather than full NLDM
+// tables, but the syntax is Liberty's, so libraries round-trip through .lib
+// text just as the paper's flow consumes the Nangate 45nm library file.
+
+// WriteLib serializes a library to Liberty-subset text.
+func WriteLib(l *Library) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library (%s) {\n", l.Name)
+	if l.DefaultWL != "" {
+		fmt.Fprintf(&b, "  default_wire_load : \"%s\";\n", l.DefaultWL)
+	}
+	wlNames := make([]string, 0, len(l.WireLoads))
+	for name := range l.WireLoads {
+		wlNames = append(wlNames, name)
+	}
+	sort.Strings(wlNames)
+	for _, name := range wlNames {
+		wl := l.WireLoads[name]
+		fmt.Fprintf(&b, "  wire_load (\"%s\") {\n", wl.Name)
+		fmt.Fprintf(&b, "    slope : %g;\n", wl.Slope)
+		fmt.Fprintf(&b, "    resistance : %g;\n", wl.Res)
+		for i, c := range wl.Table {
+			fmt.Fprintf(&b, "    fanout_capacitance (%d, %g);\n", i+1, c)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, c := range l.Cells() {
+		fmt.Fprintf(&b, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(&b, "    function : \"%s\";\n", c.Kind)
+		fmt.Fprintf(&b, "    drive_strength : %d;\n", c.Drive)
+		fmt.Fprintf(&b, "    area : %g;\n", c.Area)
+		fmt.Fprintf(&b, "    input_capacitance : %g;\n", c.InputCap)
+		fmt.Fprintf(&b, "    intrinsic_delay : %g;\n", c.Intrinsic)
+		fmt.Fprintf(&b, "    drive_resistance : %g;\n", c.DriveRes)
+		fmt.Fprintf(&b, "    max_capacitance : %g;\n", c.MaxCap)
+		fmt.Fprintf(&b, "    cell_leakage_power : %g;\n", c.Leakage)
+		if c.Kind.IsSequential() {
+			fmt.Fprintf(&b, "    setup : %g;\n", c.Setup)
+			fmt.Fprintf(&b, "    clk_to_q : %g;\n", c.ClkToQ)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ParseLib parses Liberty-subset text produced by WriteLib (or hand-written
+// in the same dialect) back into a Library.
+func ParseLib(src string) (*Library, error) {
+	p := &libParser{src: src}
+	p.skipSpace()
+	if !p.eatWord("library") {
+		return nil, p.errf("expected 'library'")
+	}
+	name, err := p.parenArg()
+	if err != nil {
+		return nil, err
+	}
+	l := NewLibrary(name)
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			break
+		}
+		word, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "default_wire_load":
+			v, err := p.simpleValue()
+			if err != nil {
+				return nil, err
+			}
+			l.DefaultWL = v
+		case "wire_load":
+			wl, err := p.parseWireLoad()
+			if err != nil {
+				return nil, err
+			}
+			l.WireLoads[wl.Name] = wl
+		case "cell":
+			c, err := p.parseCell()
+			if err != nil {
+				return nil, err
+			}
+			if err := l.AddCell(c); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown library item %q", word)
+		}
+	}
+	return l, nil
+}
+
+type libParser struct {
+	src string
+	pos int
+}
+
+func (p *libParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("lib line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *libParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *libParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*' {
+			end := strings.Index(p.src[p.pos+2:], "*/")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 4
+			continue
+		}
+		return
+	}
+}
+
+func (p *libParser) eatWord(w string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], w) {
+		p.pos += len(w)
+		return true
+	}
+	return false
+}
+
+func (p *libParser) word() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected word, got %q", string(p.peek()))
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *libParser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return p.errf("expected %q, got %q", string(c), string(p.peek()))
+	}
+	p.pos++
+	return nil
+}
+
+// parenArg parses "(value)" where value may be quoted.
+func (p *libParser) parenArg() (string, error) {
+	if err := p.expect('('); err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	end := strings.IndexByte(p.src[p.pos:], ')')
+	if end < 0 {
+		return "", p.errf("unterminated '('")
+	}
+	arg := strings.TrimSpace(p.src[p.pos : p.pos+end])
+	arg = strings.Trim(arg, "\"")
+	p.pos += end + 1
+	return arg, nil
+}
+
+// simpleValue parses ": value ;".
+func (p *libParser) simpleValue() (string, error) {
+	if err := p.expect(':'); err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	end := strings.IndexByte(p.src[p.pos:], ';')
+	if end < 0 {
+		return "", p.errf("missing ';'")
+	}
+	v := strings.TrimSpace(p.src[p.pos : p.pos+end])
+	v = strings.Trim(v, "\"")
+	p.pos += end + 1
+	return v, nil
+}
+
+func (p *libParser) floatValue() (float64, error) {
+	s, err := p.simpleValue()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (p *libParser) parseWireLoad() (*WireLoad, error) {
+	name, err := p.parenArg()
+	if err != nil {
+		return nil, err
+	}
+	wl := &WireLoad{Name: name}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	type entry struct {
+		fanout int
+		cap    float64
+	}
+	var entries []entry
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			break
+		}
+		word, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "slope":
+			if wl.Slope, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "resistance":
+			if wl.Res, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "fanout_capacitance":
+			arg, err := p.parenArg()
+			if err != nil {
+				return nil, err
+			}
+			parts := strings.Split(arg, ",")
+			if len(parts) != 2 {
+				return nil, p.errf("fanout_capacitance needs 2 args")
+			}
+			fo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return nil, err
+			}
+			c, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, entry{fo, c})
+			if err := p.expect(';'); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown wire_load attribute %q", word)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].fanout < entries[j].fanout })
+	for _, e := range entries {
+		wl.Table = append(wl.Table, e.cap)
+	}
+	return wl, nil
+}
+
+func (p *libParser) parseCell() (*Cell, error) {
+	name, err := p.parenArg()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cell{Name: name}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			break
+		}
+		word, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "function":
+			v, err := p.simpleValue()
+			if err != nil {
+				return nil, err
+			}
+			c.Kind = Kind(v)
+			if _, ok := KindInputs[c.Kind]; !ok {
+				return nil, p.errf("cell %s: unknown function %q", name, v)
+			}
+		case "drive_strength":
+			v, err := p.simpleValue()
+			if err != nil {
+				return nil, err
+			}
+			if c.Drive, err = strconv.Atoi(v); err != nil {
+				return nil, err
+			}
+		case "area":
+			if c.Area, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "input_capacitance":
+			if c.InputCap, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "intrinsic_delay":
+			if c.Intrinsic, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "drive_resistance":
+			if c.DriveRes, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "max_capacitance":
+			if c.MaxCap, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "cell_leakage_power":
+			if c.Leakage, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "setup":
+			if c.Setup, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		case "clk_to_q":
+			if c.ClkToQ, err = p.floatValue(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown cell attribute %q", word)
+		}
+	}
+	if c.Kind == "" {
+		return nil, p.errf("cell %s has no function", name)
+	}
+	return c, nil
+}

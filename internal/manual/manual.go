@@ -1,0 +1,205 @@
+// Package manual materializes the synthesis tool's user manual from the
+// command specifications in internal/synth, so the documentation SynthRAG
+// retrieves from can never drift from what the tool actually accepts. It
+// also carries the optimization guidance sections (when to retime, when to
+// balance buffers, how wireload models matter) that ground the LLM's
+// command selection — the "Logic Synthesis Tool User Manual" modality of
+// TABLE I in the paper.
+package manual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/synth"
+)
+
+// Doc is one retrievable manual section.
+type Doc struct {
+	ID    string // stable identifier, e.g. "cmd/compile_ultra"
+	Title string
+	Text  string
+}
+
+// Corpus is the full manual.
+type Corpus struct {
+	Docs   []Doc
+	byID   map[string]int
+	byName map[string]int // command name -> doc index
+}
+
+// Build generates the manual from the live command table plus the guidance
+// chapters.
+func Build() *Corpus {
+	c := &Corpus{byID: make(map[string]int), byName: make(map[string]int)}
+	names := synth.CommandNames()
+	for _, name := range names {
+		spec := synth.Commands[name]
+		c.add(commandDoc(spec), name)
+	}
+	for _, d := range guidanceDocs() {
+		c.add(d, "")
+	}
+	return c
+}
+
+func (c *Corpus) add(d Doc, cmdName string) {
+	c.byID[d.ID] = len(c.Docs)
+	if cmdName != "" {
+		c.byName[cmdName] = len(c.Docs)
+	}
+	c.Docs = append(c.Docs, d)
+}
+
+// ByID returns a section by identifier, or nil.
+func (c *Corpus) ByID(id string) *Doc {
+	if i, ok := c.byID[id]; ok {
+		return &c.Docs[i]
+	}
+	return nil
+}
+
+// Command returns the manual section for a command, or nil for unknown
+// commands — which is exactly how SynthExpert detects hallucinated commands.
+func (c *Corpus) Command(name string) *Doc {
+	if i, ok := c.byName[name]; ok {
+		return &c.Docs[i]
+	}
+	return nil
+}
+
+// CommandNames lists all documented commands.
+func (c *Corpus) CommandNames() []string {
+	names := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Texts returns all section texts in order (for embedding index builds).
+func (c *Corpus) Texts() []string {
+	out := make([]string, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Title + "\n" + d.Text
+	}
+	return out
+}
+
+func commandDoc(spec *synth.CommandSpec) Doc {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NAME\n  %s - %s\n\n", spec.Name, spec.Brief)
+	fmt.Fprintf(&b, "DESCRIPTION\n  %s\n", spec.Detail)
+	if len(spec.Opts) > 0 {
+		b.WriteString("\nOPTIONS\n")
+		for _, o := range spec.Opts {
+			arg := ""
+			if o.HasArg {
+				arg = " <value>"
+			}
+			fmt.Fprintf(&b, "  %s%s\n      %s\n", o.Name, arg, o.Desc)
+		}
+	}
+	if spec.Requires != "" {
+		fmt.Fprintf(&b, "\nREQUIREMENTS\n  %s\n", spec.Requires)
+	}
+	return Doc{
+		ID:    "cmd/" + spec.Name,
+		Title: spec.Name + " — " + spec.Brief,
+		Text:  b.String(),
+	}
+}
+
+// guidanceDocs are the methodology chapters: the domain knowledge the
+// paper's RAG retrieves to choose between techniques (e.g. retiming versus
+// buffer balancing, §I's motivating example).
+func guidanceDocs() []Doc {
+	return []Doc{
+		{
+			ID:    "guide/timing_closure",
+			Title: "Timing closure methodology",
+			Text: `Timing optimization selects techniques by the structure of the violating paths.
+Inspect report_timing first: note the path depth, the cells on the path, and the
+fanout of the nets along it. Deep paths through arithmetic logic respond to
+higher mapping effort (compile_ultra) and gate sizing. Paths crossing module
+boundaries respond to ungroup -all -flatten, which legalizes cross-boundary
+restructuring. Violations caused by unbalanced register placement — one pipeline
+stage much deeper than its neighbours — respond to register retiming
+(optimize_registers or compile_ultra -retime). Violations on high-fanout control
+or broadcast nets respond to buffer trees (balance_buffers or set_max_fanout).
+Applying retiming to a fanout-limited path, or buffering to a depth-limited
+path, wastes area without improving slack.`,
+		},
+		{
+			ID:    "guide/retiming",
+			Title: "When register retiming helps",
+			Text: `Retiming (optimize_registers, or compile_ultra -retime) moves flip-flops across
+combinational gates to balance pipeline stage delays. It is the right tool when
+report_timing shows one stage violating while adjacent stages have large
+positive slack: the registers sit in the wrong place, not the logic. It cannot
+help when every stage is equally deep, when the critical path is a single
+unregistered cone, or when the violation comes from net fanout rather than
+logic depth. Retiming preserves the clock period constraint and may increase
+register count.`,
+		},
+		{
+			ID:    "guide/buffering",
+			Title: "When buffer balancing helps",
+			Text: `Buffer balancing (balance_buffers, or set_max_fanout N before compile) splits
+high-fanout nets into buffer trees. It is the right tool when report_timing
+shows large stage delays on nets driving tens of loads — broadcast enables,
+arbitration grants, decoded selects. The added buffers cost area and one stage
+of delay each, so buffering a low-fanout deep path makes timing worse, not
+better. A max_fanout value between 8 and 24 suits most control-dominated
+designs; arithmetic datapaths rarely need one.`,
+		},
+		{
+			ID:    "guide/effort",
+			Title: "Choosing compile effort and flow",
+			Text: `compile -map_effort low only cleans up the netlist; use it for quick area
+estimates. compile (medium) restructures complex gates and sizes the critical
+path. compile -map_effort high adds logic-chain rebalancing. compile_ultra runs
+the full flow with automatic ungrouping and deeper sizing, and accepts -retime,
+-timing_high_effort_script (keep improving slack past zero) and
+-area_high_effort_script (recover more area once timing is met). Ultra costs
+runtime and sometimes area; designs that already meet timing at medium effort
+should prefer compile with -area_effort high.`,
+		},
+		{
+			ID:    "guide/hierarchy",
+			Title: "Hierarchy and ungrouping",
+			Text: `Optimization respects module boundaries: inverter pairs, mergeable gates, and
+rebalanceable chains that span two blocks are left untouched until the
+boundary is dissolved with ungroup -all -flatten (or compile_ultra's automatic
+ungrouping). Heavily hierarchical designs — generated SoCs, designs stitched
+from IP blocks — usually gain several percent of both timing and area from
+ungrouping. Keep hierarchy (compile_ultra -no_autoungroup) only when block-level
+constraints or ECO flows require stable boundaries, or protect specific blocks
+with set_dont_touch.`,
+		},
+		{
+			ID:    "guide/wireload",
+			Title: "Wireload models and constraints",
+			Text: `Pre-layout timing uses a wireload model to estimate net parasitics from
+fanout. 5K_heavy_1k is the pessimistic default for ~5k-gate blocks on the
+45nm library; 5K_medium_1k and 5K_light_1k are progressively more optimistic.
+Set the model with set_wire_load_model -name before compile. Constraints:
+create_clock -period defines the timing target (do not change the period to
+"fix" violations — close timing at the given period); set_input_delay and
+set_output_delay budget for logic outside the block; set_max_area sets the
+area goal.`,
+		},
+		{
+			ID:    "guide/iteration",
+			Title: "Iterative resynthesis",
+			Text: `Logic synthesis is iterative: after the first compile, read report_qor and
+report_timing, then choose a resynthesis step that targets the reported
+bottleneck. Typical second iterations: optimize_registers when stage imbalance
+remains; balance_buffers when max-fanout nets dominate; compile_ultra
+-area_high_effort_script when timing is met with slack to trade for area.
+Re-running the identical compile rarely changes the result.`,
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package manual
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestBuildCoversAllCommands(t *testing.T) {
+	c := Build()
+	for name := range synth.Commands {
+		d := c.Command(name)
+		if d == nil {
+			t.Errorf("command %s missing from manual", name)
+			continue
+		}
+		if !strings.Contains(d.Text, name) {
+			t.Errorf("doc for %s does not mention it", name)
+		}
+		if !strings.Contains(d.Text, "DESCRIPTION") {
+			t.Errorf("doc for %s missing DESCRIPTION section", name)
+		}
+	}
+	if got, want := len(c.CommandNames()), len(synth.Commands); got != want {
+		t.Errorf("CommandNames = %d, want %d", got, want)
+	}
+}
+
+func TestOptionsDocumented(t *testing.T) {
+	c := Build()
+	d := c.Command("compile_ultra")
+	if d == nil {
+		t.Fatal("compile_ultra missing")
+	}
+	for _, opt := range []string{"-retime", "-no_autoungroup", "-timing_high_effort_script"} {
+		if !strings.Contains(d.Text, opt) {
+			t.Errorf("compile_ultra doc missing option %s", opt)
+		}
+	}
+	if !strings.Contains(d.Text, "REQUIREMENTS") {
+		t.Error("compile_ultra doc missing requirements")
+	}
+}
+
+func TestGuidanceDocsPresent(t *testing.T) {
+	c := Build()
+	for _, id := range []string{"guide/timing_closure", "guide/retiming", "guide/buffering", "guide/effort", "guide/hierarchy", "guide/wireload", "guide/iteration"} {
+		if c.ByID(id) == nil {
+			t.Errorf("guidance doc %s missing", id)
+		}
+	}
+	// The retiming guide must state the applicability condition the paper's
+	// intro example turns on.
+	g := c.ByID("guide/retiming")
+	if !strings.Contains(g.Text, "unbalanced") && !strings.Contains(g.Text, "stage") {
+		t.Error("retiming guide does not describe stage imbalance")
+	}
+}
+
+func TestUnknownCommandIsNil(t *testing.T) {
+	c := Build()
+	if c.Command("optimize_timing") != nil {
+		t.Error("hallucinated command should not be documented")
+	}
+	if c.ByID("cmd/optimize_timing") != nil {
+		t.Error("hallucinated id should not resolve")
+	}
+}
+
+func TestTextsAlignWithDocs(t *testing.T) {
+	c := Build()
+	texts := c.Texts()
+	if len(texts) != len(c.Docs) {
+		t.Fatalf("Texts len %d != Docs len %d", len(texts), len(c.Docs))
+	}
+	for i, txt := range texts {
+		if !strings.Contains(txt, c.Docs[i].Title) {
+			t.Errorf("text %d missing title", i)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/verilog"
+)
+
+func mustElab(t *testing.T, src, top string) *Netlist {
+	t.Helper()
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nl, err := Elaborate(f, top, nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return nl
+}
+
+func TestElabCombinational(t *testing.T) {
+	nl := mustElab(t, `
+module comb(input a, input b, input c, output y);
+    wire t;
+    assign t = a & b;
+    assign y = t | ~c;
+endmodule
+`, "comb")
+	if len(nl.Inputs) != 3 {
+		t.Errorf("inputs = %d, want 3", len(nl.Inputs))
+	}
+	if len(nl.Outputs) != 1 {
+		t.Errorf("outputs = %d, want 1", len(nl.Outputs))
+	}
+	s := nl.Summary()
+	if s.Seq != 0 {
+		t.Errorf("seq = %d, want 0", s.Seq)
+	}
+	if s.ByKind[liberty.KindAnd2] != 1 || s.ByKind[liberty.KindOr2] != 1 || s.ByKind[liberty.KindInv] != 1 {
+		t.Errorf("gate mix wrong: %v", s.ByKind)
+	}
+	if nl.ClkNet != nil {
+		t.Error("combinational design should have no clock")
+	}
+}
+
+func TestElabRegister(t *testing.T) {
+	nl := mustElab(t, `
+module dff8(input clk, input rst, input [7:0] d, output [7:0] q);
+    reg [7:0] q;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            q <= 8'h00;
+        else
+            q <= d;
+    end
+endmodule
+`, "dff8")
+	if nl.SeqCount() != 8 {
+		t.Fatalf("seq = %d, want 8", nl.SeqCount())
+	}
+	if nl.ClkNet == nil || nl.RstNet == nil {
+		t.Fatal("clock/reset nets not identified")
+	}
+	if len(nl.Inputs) != 8 {
+		t.Errorf("inputs (excl clk/rst) = %d, want 8", len(nl.Inputs))
+	}
+	for _, c := range nl.Cells {
+		if !c.IsSeq() {
+			t.Errorf("unexpected combinational cell %s in pure register design", c.Name)
+			continue
+		}
+		if c.Ref.Kind != liberty.KindDFFR {
+			t.Errorf("cell %s kind = %s, want DFFR", c.Name, c.Ref.Kind)
+		}
+		if c.Clock != nl.ClkNet || c.Reset != nl.RstNet {
+			t.Errorf("cell %s clock/reset wiring wrong", c.Name)
+		}
+	}
+}
+
+func TestElabEnableHold(t *testing.T) {
+	// q holds when !en: expect a mux feeding each DFF (Q -> D feedback).
+	nl := mustElab(t, `
+module enreg(input clk, input en, input [3:0] d, output [3:0] q);
+    reg [3:0] q;
+    always @(posedge clk)
+        if (en) q <= d;
+endmodule
+`, "enreg")
+	s := nl.Summary()
+	if s.Seq != 4 {
+		t.Fatalf("seq = %d, want 4", s.Seq)
+	}
+	if s.ByKind[liberty.KindMux2] != 4 {
+		t.Errorf("mux count = %d, want 4 (hold path)", s.ByKind[liberty.KindMux2])
+	}
+	// Each DFF's D must trace to a mux whose inputs include its own Q.
+	for _, c := range nl.Cells {
+		if !c.IsSeq() {
+			continue
+		}
+		d := c.Inputs[0]
+		if d.Driver == nil || d.Driver.Ref.Kind != liberty.KindMux2 {
+			t.Fatalf("DFF %s: D not driven by mux", c.Name)
+		}
+		if d.Driver.Inputs[0] != c.Output {
+			t.Errorf("DFF %s: hold path not fed back from Q", c.Name)
+		}
+	}
+}
+
+func TestElabCounterAdder(t *testing.T) {
+	nl := mustElab(t, `
+module counter(input clk, input rst, output [7:0] count);
+    reg [7:0] count;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            count <= 8'd0;
+        else
+            count <= count + 8'd1;
+    end
+endmodule
+`, "counter")
+	s := nl.Summary()
+	if s.Seq != 8 {
+		t.Fatalf("seq = %d, want 8", s.Seq)
+	}
+	// The increment logic must contain xor gates (half adders).
+	if s.ByKind[liberty.KindXor2] == 0 {
+		t.Error("counter should contain XOR gates from the adder")
+	}
+}
+
+func TestElabHierarchy(t *testing.T) {
+	nl := mustElab(t, `
+module top(input clk, input [3:0] a, input [3:0] b, output [3:0] s1, output [3:0] s2);
+    addu u_a (.x(a), .y(b), .s(s1));
+    addu u_b (.x(a), .y(s1), .s(s2));
+endmodule
+module addu(input [3:0] x, input [3:0] y, output [3:0] s);
+    assign s = x + y;
+endmodule
+`, "top")
+	groups := nl.GroupNames()
+	if len(groups) != 2 || groups[0] != "u_a" || groups[1] != "u_b" {
+		t.Errorf("groups = %v, want [u_a u_b]", groups)
+	}
+	for _, c := range nl.Cells {
+		if c.Module != "addu" {
+			t.Errorf("cell %s module = %q, want addu", c.Name, c.Module)
+		}
+	}
+	// Ungroup flattens.
+	n := nl.Ungroup("")
+	if n != len(nl.Cells) {
+		t.Errorf("ungrouped %d cells, want %d", n, len(nl.Cells))
+	}
+	if len(nl.GroupNames()) != 0 {
+		t.Errorf("groups remain after ungroup: %v", nl.GroupNames())
+	}
+}
+
+func TestElabParamOverride(t *testing.T) {
+	nl := mustElab(t, `
+module top(input [15:0] a, input [15:0] b, output [15:0] y);
+    xorw #(.W(16)) u0 (.a(a), .b(b), .y(y));
+endmodule
+module xorw #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    assign y = a ^ b;
+endmodule
+`, "top")
+	s := nl.Summary()
+	if s.ByKind[liberty.KindXor2] != 16 {
+		t.Errorf("xor count = %d, want 16", s.ByKind[liberty.KindXor2])
+	}
+}
+
+func TestElabConstantFolding(t *testing.T) {
+	nl := mustElab(t, `
+module cf(input a, output y1, output y2, output y3);
+    assign y1 = a & 1'b1;    // folds to a
+    assign y2 = a & 1'b0;    // folds to constant 0
+    assign y3 = a ^ 1'b1;    // folds to ~a
+endmodule
+`, "cf")
+	s := nl.Summary()
+	if s.ByKind[liberty.KindAnd2] != 0 {
+		t.Errorf("AND gates = %d, want 0 after folding", s.ByKind[liberty.KindAnd2])
+	}
+	if s.ByKind[liberty.KindInv] != 1 {
+		t.Errorf("INV gates = %d, want 1", s.ByKind[liberty.KindInv])
+	}
+	// y2 is a constant-0 output: it must be isolated behind a TIE0 cell.
+	var y2 *Net
+	for _, o := range nl.Outputs {
+		if strings.HasPrefix(o.Name, "y2") {
+			y2 = o
+		}
+	}
+	if y2 == nil || y2.Driver == nil || y2.Driver.Ref.Kind != liberty.KindTie0 {
+		t.Errorf("y2 should be driven by TIE0, got %+v", y2)
+	}
+}
+
+func TestElabMuxTernary(t *testing.T) {
+	nl := mustElab(t, `
+module m(input s, input [7:0] a, input [7:0] b, output [7:0] y);
+    assign y = s ? a : b;
+endmodule
+`, "m")
+	s := nl.Summary()
+	if s.ByKind[liberty.KindMux2] != 8 {
+		t.Errorf("mux count = %d, want 8", s.ByKind[liberty.KindMux2])
+	}
+}
+
+func TestElabWideOps(t *testing.T) {
+	nl := mustElab(t, `
+module w(input [15:0] a, input [15:0] b, output [16:0] s, output eq, output lt, output [3:0] sh);
+    assign s = a + b;
+    assign eq = a == b;
+    assign lt = a < b;
+    assign sh = a[3:0] << 2;
+endmodule
+`, "w")
+	if len(nl.Outputs) != 17+1+1+4 {
+		t.Errorf("outputs = %d, want 23", len(nl.Outputs))
+	}
+	if nl.Summary().Cells == 0 {
+		t.Error("no cells generated")
+	}
+}
+
+func TestElabMultiplier(t *testing.T) {
+	nl := mustElab(t, `
+module mult(input [7:0] a, input [7:0] b, output [15:0] p);
+    assign p = a * b;
+endmodule
+`, "mult")
+	s := nl.Summary()
+	// An 8x8 array multiplier needs at least 64 partial-product ANDs.
+	if s.ByKind[liberty.KindAnd2] < 64 {
+		t.Errorf("AND count = %d, want >= 64", s.ByKind[liberty.KindAnd2])
+	}
+}
+
+func TestElabGatePrimitives(t *testing.T) {
+	nl := mustElab(t, `
+module g(input a, input b, input c, output y, output z);
+    wire t;
+    nand (t, a, b);
+    nor g2 (y, t, c);
+    xor g3 (z, a, b, c);
+endmodule
+`, "g")
+	s := nl.Summary()
+	if s.Cells == 0 {
+		t.Fatal("no cells")
+	}
+	// 3-input xor decomposes into two XOR2.
+	if s.ByKind[liberty.KindXor2] != 2 {
+		t.Errorf("xor2 = %d, want 2", s.ByKind[liberty.KindXor2])
+	}
+}
+
+func TestElabErrors(t *testing.T) {
+	cases := []struct {
+		name, src, top string
+		wantErr        string
+	}{
+		{"unknown top", "module a(input x, output y); assign y = x; endmodule", "b", "not found"},
+		{"unknown module", "module a(input x, output y); sub u(.p(x), .q(y)); endmodule", "a", "unknown module"},
+		{"unknown signal", "module a(input x, output y); assign y = zz; endmodule", "a", "unknown signal"},
+		{"multiple drivers", "module a(input x, output y); assign y = x; assign y = ~x; endmodule", "a", "multiple drivers"},
+		{"undriven output", "module a(input x, output y); wire t; assign t = x; endmodule", "a", "undriven"},
+		{"drive input", "module a(input x, output y); assign x = y; endmodule", "a", ""},
+		{"index range", "module a(input [3:0] x, output y); assign y = x[9]; endmodule", "a", "out of range"},
+		{"bad reset shape", "module a(input clk, input rst, input d, output q); reg q; always @(posedge clk or posedge rst) q <= d; endmodule", "a", "reset"},
+	}
+	lib := liberty.Nangate45()
+	for _, c := range cases {
+		f, err := verilog.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		_, err = Elaborate(f, c.top, nil, lib)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestElabConcatSplit(t *testing.T) {
+	nl := mustElab(t, `
+module c(input [3:0] a, input [3:0] b, output [7:0] y, output [1:0] hi);
+    assign y = {a, b};
+    assign hi = y[7:6];
+endmodule
+`, "c")
+	// Pure wiring becomes feedthrough buffers isolating each output port
+	// (8 bits of y from inputs, plus 2 bits of hi from y).
+	if n := len(nl.Cells); n != 10 {
+		t.Errorf("cells = %d, want 10 feedthrough buffers", n)
+	}
+	for _, c := range nl.Cells {
+		if c.Ref.Kind != liberty.KindBuf {
+			t.Errorf("cell %s kind = %s, want BUF", c.Name, c.Ref.Kind)
+		}
+	}
+}
+
+func TestElabTopParamOverride(t *testing.T) {
+	f, err := verilog.Parse(`
+module t #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+    assign y = ~a;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Elaborate(f, "t", map[string]int64{"W": 9}, liberty.Nangate45())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nl.Summary().ByKind[liberty.KindInv]; got != 9 {
+		t.Errorf("inv count = %d, want 9", got)
+	}
+}

@@ -1,0 +1,236 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/liberty"
+)
+
+// buildChain makes in -> INV -> AND(in, .) -> out for edit-op tests.
+func buildChain(t *testing.T) (*Netlist, *Cell, *Cell) {
+	t.Helper()
+	lib := liberty.Nangate45()
+	nl := New("t", lib)
+	in := nl.NewNet("in")
+	in.PI = true
+	nl.Inputs = append(nl.Inputs, in)
+	inv, err := nl.AddCell(lib.Cell("INV_X1"), "g", "m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, err := nl.AddCell(lib.Cell("AND2_X1"), "g", "m", inv.Output, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and.Output.PO = true
+	nl.Outputs = append(nl.Outputs, and.Output)
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return nl, inv, and
+}
+
+func TestAddCellWrongInputCount(t *testing.T) {
+	lib := liberty.Nangate45()
+	nl := New("t", lib)
+	a := nl.NewNet("a")
+	if _, err := nl.AddCell(lib.Cell("AND2_X1"), "", "m", a); err == nil {
+		t.Error("AND2 with one input must fail")
+	}
+}
+
+func TestSetInputRewires(t *testing.T) {
+	nl, inv, and := buildChain(t)
+	n2 := nl.NewNet("n2")
+	n2.PI = true
+	nl.SetInput(and, 0, n2)
+	if and.Inputs[0] != n2 {
+		t.Error("input not replaced")
+	}
+	if len(inv.Output.Sinks) != 0 {
+		t.Error("old net keeps stale sink")
+	}
+	found := false
+	for _, p := range n2.Sinks {
+		if p.Cell == and && p.Index == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new net missing sink")
+	}
+}
+
+func TestResizeKindMismatch(t *testing.T) {
+	nl, inv, _ := buildChain(t)
+	if err := nl.Resize(inv, nl.Lib.Cell("AND2_X1")); err == nil {
+		t.Error("cross-kind resize must fail")
+	}
+	if err := nl.Resize(inv, nl.Lib.Cell("INV_X4")); err != nil {
+		t.Errorf("same-kind resize failed: %v", err)
+	}
+	if inv.Ref.Name != "INV_X4" {
+		t.Error("resize did not apply")
+	}
+}
+
+func TestReplaceCell(t *testing.T) {
+	nl, inv, _ := buildChain(t)
+	// INV -> BUF keeps the output net and sink bookkeeping.
+	in := inv.Inputs[0]
+	if err := nl.ReplaceCell(inv, nl.Lib.Cell("BUF_X1"), in); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Ref.Kind != liberty.KindBuf {
+		t.Error("kind not replaced")
+	}
+	// Wrong input count rejected.
+	if err := nl.ReplaceCell(inv, nl.Lib.Cell("AND2_X1"), in); err == nil {
+		t.Error("AND2 with 1 input must fail")
+	}
+}
+
+func TestMoveOutput(t *testing.T) {
+	nl, inv, _ := buildChain(t)
+	free := nl.NewNet("free")
+	old := inv.Output
+	if err := nl.MoveOutput(inv, free); err != nil {
+		t.Fatal(err)
+	}
+	if free.Driver != inv || inv.Output != free {
+		t.Error("output not moved")
+	}
+	if old.Driver != nil {
+		t.Error("old output keeps driver")
+	}
+	// Occupied target rejected.
+	if err := nl.MoveOutput(inv, nl.Outputs[0]); err == nil {
+		t.Error("moving onto a driven net must fail")
+	}
+	pi := nl.Inputs[0]
+	if err := nl.MoveOutput(inv, pi); err == nil {
+		t.Error("moving onto a PI must fail")
+	}
+}
+
+func TestRemoveCellDetaches(t *testing.T) {
+	nl, inv, and := buildChain(t)
+	in := inv.Inputs[0]
+	nl.ReplaceNet(inv.Output, in) // rewire AND first so Check stays happy
+	nl.RemoveCell(inv)
+	if len(nl.Cells) != 1 {
+		t.Fatalf("cells = %d", len(nl.Cells))
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if and.Inputs[0] != in {
+		t.Error("sink not rewired")
+	}
+}
+
+func TestUngroupPrefix(t *testing.T) {
+	lib := liberty.Nangate45()
+	nl := New("t", lib)
+	in := nl.NewNet("in")
+	in.PI = true
+	mk := func(group string) *Cell {
+		c, err := nl.AddCell(lib.Cell("INV_X1"), group, "m", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := mk("u_a")
+	b := mk("u_a/u_sub")
+	c := mk("u_ab") // shares "u_a" as string prefix but not path prefix
+	n := nl.Ungroup("u_a")
+	if n != 2 {
+		t.Fatalf("ungrouped %d cells, want 2", n)
+	}
+	if a.Group != "" || b.Group != "" {
+		t.Error("u_a subtree not flattened")
+	}
+	if c.Group != "u_ab" {
+		t.Error("u_ab wrongly flattened (string-prefix bug)")
+	}
+}
+
+func TestSummaryAndLeakage(t *testing.T) {
+	nl, _, _ := buildChain(t)
+	s := nl.Summary()
+	if s.Cells != 2 || s.Comb != 2 || s.Seq != 0 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.ByKind[liberty.KindInv] != 1 || s.ByKind[liberty.KindAnd2] != 1 {
+		t.Errorf("kind mix %v", s.ByKind)
+	}
+	if s.MaxFanout < 2 {
+		t.Errorf("max fanout %d (in drives inv + and)", s.MaxFanout)
+	}
+	if nl.Leakage() <= 0 || nl.Area() <= 0 {
+		t.Error("area/leakage must be positive")
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	nl, inv, _ := buildChain(t)
+	// Manually corrupt: steal a sink entry.
+	in := inv.Inputs[0]
+	in.Sinks = in.Sinks[:0]
+	if err := nl.Check(); err == nil {
+		t.Error("Check must catch sink-list corruption")
+	}
+}
+
+// Property: a randomly built DAG of gates always passes Check, and
+// ReplaceNet keeps it consistent.
+func TestRandomDAGEditsStayConsistent(t *testing.T) {
+	lib := liberty.Nangate45()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := New("r", lib)
+		nets := []*Net{}
+		for i := 0; i < 4; i++ {
+			n := nl.NewNet("")
+			n.PI = true
+			nl.Inputs = append(nl.Inputs, n)
+			nets = append(nets, n)
+		}
+		kinds := []string{"INV_X1", "AND2_X1", "OR2_X1", "XOR2_X1", "NAND2_X1"}
+		for i := 0; i < 12; i++ {
+			ref := lib.Cell(kinds[rng.Intn(len(kinds))])
+			ins := make([]*Net, liberty.KindInputs[ref.Kind])
+			for j := range ins {
+				ins[j] = nets[rng.Intn(len(nets))]
+			}
+			c, err := nl.AddCell(ref, "", "r", ins...)
+			if err != nil {
+				return false
+			}
+			nets = append(nets, c.Output)
+		}
+		if nl.Check() != nil {
+			return false
+		}
+		// Random ReplaceNet of a driven net onto another (may create
+		// dangling cells, which is legal).
+		for k := 0; k < 3; k++ {
+			a := nets[rng.Intn(len(nets))]
+			b := nets[rng.Intn(len(nets))]
+			if a == b || b.Driver == nil && !b.PI {
+				continue
+			}
+			nl.ReplaceNet(a, b)
+		}
+		return nl.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

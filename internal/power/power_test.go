@@ -1,0 +1,136 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func elab(t *testing.T, src, top string) *netlist.Netlist {
+	t.Helper()
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nl, err := netlist.Elaborate(f, top, nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return nl
+}
+
+const counterSrc = `
+module counter(input clk, input en, output [7:0] q);
+    reg [7:0] q;
+    always @(posedge clk)
+        if (en) q <= q + 8'd1;
+endmodule`
+
+func TestAnalyzeBasics(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	wl := nl.Lib.WireLoad("5K_heavy_1k")
+	rep, err := Analyze(nl, wl, 2.0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 || rep.NetSwitching <= 0 || rep.CellInternal <= 0 || rep.Leakage <= 0 {
+		t.Fatalf("power components must be positive: %+v", rep)
+	}
+	if math.Abs(rep.Total-(rep.NetSwitching+rep.CellInternal+rep.Leakage)) > 1e-9 {
+		t.Error("total != sum of components")
+	}
+	if rep.ToggleRate <= 0 || rep.ToggleRate > 1 {
+		t.Errorf("toggle rate %f out of (0,1]", rep.ToggleRate)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	wl := nl.Lib.WireLoad("5K_heavy_1k")
+	a, _ := Analyze(nl, wl, 2.0, 64, 7)
+	b, _ := Analyze(nl, wl, 2.0, 64, 7)
+	if a != b {
+		t.Error("same seed must give identical reports")
+	}
+	c, _ := Analyze(nl, wl, 2.0, 64, 8)
+	if a == c {
+		t.Error("different seeds should sample different activity")
+	}
+}
+
+func TestFasterClockMorePower(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	wl := nl.Lib.WireLoad("5K_heavy_1k")
+	slow, _ := Analyze(nl, wl, 4.0, 64, 1)
+	fast, _ := Analyze(nl, wl, 1.0, 64, 1)
+	if fast.NetSwitching <= slow.NetSwitching {
+		t.Errorf("4x clock should raise switching power: %f vs %f", fast.NetSwitching, slow.NetSwitching)
+	}
+	// Leakage is frequency-independent.
+	if math.Abs(fast.Leakage-slow.Leakage) > 1e-9 {
+		t.Error("leakage must not depend on frequency")
+	}
+}
+
+func TestIdleLogicBurnsLessDynamicPower(t *testing.T) {
+	// A design whose datapath is gated by an input held low toggles less
+	// than one that free-runs; compare the same netlist under different
+	// activity by exploiting the enable input statistics: with random en
+	// (p=0.5) vs a structurally identical free-running counter.
+	gated := elab(t, counterSrc, "counter")
+	free := elab(t, `
+module counter(input clk, input en, output [7:0] q);
+    reg [7:0] q;
+    always @(posedge clk) q <= q + 8'd1 + {7'd0, en};
+endmodule`, "counter")
+	wl := gated.Lib.WireLoad("5K_heavy_1k")
+	g, _ := Analyze(gated, wl, 2.0, 128, 3)
+	f, _ := Analyze(free, wl, 2.0, 128, 3)
+	if g.ToggleRate >= f.ToggleRate {
+		t.Errorf("gated design should toggle less: %f vs %f", g.ToggleRate, f.ToggleRate)
+	}
+}
+
+func TestBiggerDesignMoreLeakage(t *testing.T) {
+	small := elab(t, counterSrc, "counter")
+	big := elab(t, `
+module counter(input clk, input en, output [31:0] q);
+    reg [31:0] q;
+    always @(posedge clk)
+        if (en) q <= q + 32'd1;
+endmodule`, "counter")
+	wl := small.Lib.WireLoad("5K_heavy_1k")
+	s, _ := Analyze(small, wl, 2.0, 32, 1)
+	b, _ := Analyze(big, wl, 2.0, 32, 1)
+	if b.Leakage <= s.Leakage {
+		t.Errorf("32-bit counter should leak more than 8-bit: %f vs %f", b.Leakage, s.Leakage)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	wl := nl.Lib.WireLoad("5K_heavy_1k")
+	if _, err := Analyze(nl, wl, 0, 64, 1); err == nil {
+		t.Error("zero period should error")
+	}
+	// Tiny vector counts are clamped, not rejected.
+	if rep, err := Analyze(nl, wl, 2.0, 1, 1); err != nil || rep.Vectors < 2 {
+		t.Errorf("vectors should clamp to >= 2: %+v, %v", rep, err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	wl := nl.Lib.WireLoad("5K_heavy_1k")
+	rep, _ := Analyze(nl, wl, 2.0, 32, 1)
+	text := rep.Format("counter")
+	for _, want := range []string{"report_power", "Net switching", "leakage", "Total power", "counter"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package sim is a cycle-based functional simulator for gate-level
+// netlists. It exists to keep the synthesis flow honest: the test suite
+// simulates netlists before and after every optimization pass and asserts
+// bit-exact equivalence (steady-state equivalence for retiming), and
+// validates the RTL elaborator's arithmetic against Go integer semantics.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// Simulator evaluates one netlist. Create with New, drive inputs with Set /
+// SetVector, advance with Eval (combinational settle) or Step (settle plus
+// one clock edge).
+type Simulator struct {
+	nl     *netlist.Netlist
+	order  []*netlist.Cell // combinational cells in topological order
+	values map[*netlist.Net]bool
+	state  map[*netlist.Cell]bool // flip-flop Q values
+	inputs map[string]*netlist.Net
+}
+
+// New builds a simulator; it fails on combinational loops.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	s := &Simulator{
+		nl:     nl,
+		values: make(map[*netlist.Net]bool, len(nl.Nets)),
+		state:  make(map[*netlist.Cell]bool),
+		inputs: make(map[string]*netlist.Net, len(nl.Inputs)),
+	}
+	if err := s.levelize(); err != nil {
+		return nil, err
+	}
+	for _, n := range nl.Inputs {
+		s.inputs[n.Name] = n
+	}
+	s.Reset()
+	return s, nil
+}
+
+func (s *Simulator) levelize() error {
+	indeg := make(map[*netlist.Cell]int)
+	var ready []*netlist.Cell
+	for _, c := range s.nl.Cells {
+		if c.IsSeq() {
+			continue
+		}
+		deps := 0
+		for _, in := range c.Inputs {
+			if in.Driver != nil && !in.Driver.IsSeq() {
+				deps++
+			}
+		}
+		indeg[c] = deps
+		if deps == 0 {
+			ready = append(ready, c)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+	for len(ready) > 0 {
+		c := ready[0]
+		ready = ready[1:]
+		s.order = append(s.order, c)
+		for _, p := range c.Output.Sinks {
+			if p.Cell.IsSeq() {
+				continue
+			}
+			indeg[p.Cell]--
+			if indeg[p.Cell] == 0 {
+				ready = append(ready, p.Cell)
+			}
+		}
+	}
+	if len(s.order) != len(indeg) {
+		return fmt.Errorf("combinational loop: cannot simulate")
+	}
+	return nil
+}
+
+// Reset clears all flip-flops and input values to 0.
+func (s *Simulator) Reset() {
+	for _, c := range s.nl.Cells {
+		if c.IsSeq() {
+			s.state[c] = false
+		}
+	}
+	for _, n := range s.nl.Inputs {
+		s.values[n] = false
+	}
+}
+
+// Set assigns one primary input bit by net name (e.g. "a[3]" or "cin").
+func (s *Simulator) Set(name string, v bool) error {
+	n, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("no primary input %q", name)
+	}
+	s.values[n] = v
+	return nil
+}
+
+// SetVector assigns a multi-bit input ("a" drives a[0..w-1]) from an
+// unsigned value, LSB first. A scalar input accepts bit 0.
+func (s *Simulator) SetVector(base string, value uint64) error {
+	if n, ok := s.inputs[base]; ok {
+		s.values[n] = value&1 == 1
+		return nil
+	}
+	found := false
+	for i := 0; ; i++ {
+		n, ok := s.inputs[fmt.Sprintf("%s[%d]", base, i)]
+		if !ok {
+			break
+		}
+		s.values[n] = value>>uint(i)&1 == 1
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("no primary input vector %q", base)
+	}
+	return nil
+}
+
+// Eval propagates values through the combinational logic.
+func (s *Simulator) Eval() {
+	// Sources: constants and flip-flop outputs.
+	for _, n := range s.nl.Nets {
+		if n.Const {
+			s.values[n] = n.Val
+		}
+	}
+	for c, v := range s.state {
+		s.values[c.Output] = v
+	}
+	for _, c := range s.order {
+		s.values[c.Output] = s.evalCell(c)
+	}
+}
+
+// Step evaluates combinational logic, then clocks every flip-flop once.
+func (s *Simulator) Step() {
+	s.Eval()
+	next := make(map[*netlist.Cell]bool, len(s.state))
+	for c := range s.state {
+		next[c] = s.values[c.Inputs[0]]
+	}
+	s.state = next
+}
+
+// Run applies n clock cycles with the current inputs held.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+	s.Eval()
+}
+
+// Value returns a net's current value.
+func (s *Simulator) Value(n *netlist.Net) bool { return s.values[n] }
+
+// Output returns a primary output bit by name.
+func (s *Simulator) Output(name string) (bool, error) {
+	for _, o := range s.nl.Outputs {
+		if o.Name == name {
+			return s.values[o], nil
+		}
+	}
+	return false, fmt.Errorf("no primary output %q", name)
+}
+
+// OutputVector assembles a multi-bit output ("sum" from sum[0..w-1]) into
+// an unsigned value. A scalar output contributes bit 0.
+func (s *Simulator) OutputVector(base string) (uint64, error) {
+	var v uint64
+	found := false
+	for _, o := range s.nl.Outputs {
+		if o.Name == base {
+			if s.values[o] {
+				v |= 1
+			}
+			found = true
+			continue
+		}
+		var idx int
+		if n, _ := fmt.Sscanf(o.Name, base+"[%d]", &idx); n == 1 && strings.HasPrefix(o.Name, base+"[") {
+			if s.values[o] {
+				v |= 1 << uint(idx)
+			}
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("no primary output vector %q", base)
+	}
+	return v, nil
+}
+
+// OutputBits snapshots every primary output by name.
+func (s *Simulator) OutputBits() map[string]bool {
+	out := make(map[string]bool, len(s.nl.Outputs))
+	for _, o := range s.nl.Outputs {
+		out[o.Name] = s.values[o]
+	}
+	return out
+}
+
+func (s *Simulator) evalCell(c *netlist.Cell) bool {
+	in := func(i int) bool { return s.values[c.Inputs[i]] }
+	switch c.Ref.Kind {
+	case liberty.KindInv:
+		return !in(0)
+	case liberty.KindBuf:
+		return in(0)
+	case liberty.KindNand2:
+		return !(in(0) && in(1))
+	case liberty.KindNor2:
+		return !(in(0) || in(1))
+	case liberty.KindAnd2:
+		return in(0) && in(1)
+	case liberty.KindOr2:
+		return in(0) || in(1)
+	case liberty.KindXor2:
+		return in(0) != in(1)
+	case liberty.KindXnor2:
+		return in(0) == in(1)
+	case liberty.KindMux2:
+		if in(2) {
+			return in(1)
+		}
+		return in(0)
+	case liberty.KindAoi21:
+		return !((in(0) && in(1)) || in(2))
+	case liberty.KindOai21:
+		return !((in(0) || in(1)) && in(2))
+	case liberty.KindNand3:
+		return !(in(0) && in(1) && in(2))
+	case liberty.KindNor3:
+		return !(in(0) || in(1) || in(2))
+	case liberty.KindAnd3:
+		return in(0) && in(1) && in(2)
+	case liberty.KindOr3:
+		return in(0) || in(1) || in(2)
+	case liberty.KindNand4:
+		return !(in(0) && in(1) && in(2) && in(3))
+	case liberty.KindNor4:
+		return !(in(0) || in(1) || in(2) || in(3))
+	case liberty.KindTie0:
+		return false
+	case liberty.KindTie1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func elab(t *testing.T, src, top string) *netlist.Netlist {
+	t.Helper()
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nl, err := netlist.Elaborate(f, top, nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return nl
+}
+
+// TestAdderSemantics validates the elaborator's ripple adder numerically.
+func TestAdderSemantics(t *testing.T) {
+	nl := elab(t, `
+module add16(input [15:0] a, input [15:0] b, output [16:0] s);
+    assign s = a + b;
+endmodule`, "add16")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := uint64(rng.Intn(1 << 16))
+		b := uint64(rng.Intn(1 << 16))
+		s.SetVector("a", a)
+		s.SetVector("b", b)
+		s.Eval()
+		got, err := s.OutputVector("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a+b {
+			t.Fatalf("%d + %d = %d, simulated %d", a, b, a+b, got)
+		}
+	}
+}
+
+func TestSubtractAndCompareSemantics(t *testing.T) {
+	nl := elab(t, `
+module cmp(input [11:0] a, input [11:0] b, output [11:0] d, output lt, output ge, output eq);
+    assign d = a - b;
+    assign lt = a < b;
+    assign ge = a >= b;
+    assign eq = a == b;
+endmodule`, "cmp")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := uint64(rng.Intn(1 << 12))
+		b := uint64(rng.Intn(1 << 12))
+		if i == 0 {
+			b = a // force the equality case
+		}
+		s.SetVector("a", a)
+		s.SetVector("b", b)
+		s.Eval()
+		d, _ := s.OutputVector("d")
+		lt, _ := s.Output("lt")
+		ge, _ := s.Output("ge")
+		eq, _ := s.Output("eq")
+		if d != (a-b)&0xFFF {
+			t.Fatalf("%d - %d: got %d want %d", a, b, d, (a-b)&0xFFF)
+		}
+		if lt != (a < b) || ge != (a >= b) || eq != (a == b) {
+			t.Fatalf("compare(%d, %d) = lt%v ge%v eq%v", a, b, lt, ge, eq)
+		}
+	}
+}
+
+func TestMultiplierSemantics(t *testing.T) {
+	nl := elab(t, `
+module mul(input [7:0] a, input [7:0] b, output [15:0] p);
+    assign p = a * b;
+endmodule`, "mul")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := uint64(rng.Intn(256))
+		b := uint64(rng.Intn(256))
+		s.SetVector("a", a)
+		s.SetVector("b", b)
+		s.Eval()
+		p, _ := s.OutputVector("p")
+		if p != a*b {
+			t.Fatalf("%d * %d = %d, simulated %d", a, b, a*b, p)
+		}
+	}
+}
+
+func TestShiftMuxTernarySemantics(t *testing.T) {
+	nl := elab(t, `
+module m(input [7:0] a, input [2:0] k, input s, output [7:0] shl, output [7:0] shr, output [7:0] y);
+    assign shl = a << k;
+    assign shr = a >> k;
+    assign y = s ? (a ^ 8'hFF) : a;
+endmodule`, "m")
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := uint64(rng.Intn(256))
+		k := uint64(rng.Intn(8))
+		sel := rng.Intn(2) == 1
+		sim.SetVector("a", a)
+		sim.SetVector("k", k)
+		sim.Set("s", sel)
+		sim.Eval()
+		shl, _ := sim.OutputVector("shl")
+		shr, _ := sim.OutputVector("shr")
+		y, _ := sim.OutputVector("y")
+		if shl != (a<<k)&0xFF {
+			t.Fatalf("%d << %d: got %d", a, k, shl)
+		}
+		if shr != a>>k {
+			t.Fatalf("%d >> %d: got %d", a, k, shr)
+		}
+		want := a
+		if sel {
+			want = a ^ 0xFF
+		}
+		if y != want {
+			t.Fatalf("mux(%v, %d): got %d want %d", sel, a, y, want)
+		}
+	}
+}
+
+func TestSequentialCounter(t *testing.T) {
+	nl := elab(t, `
+module counter(input clk, input en, output [7:0] q);
+    reg [7:0] q;
+    always @(posedge clk)
+        if (en) q <= q + 8'd1;
+endmodule`, "counter")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("en", true)
+	s.Run(5)
+	if q, _ := s.OutputVector("q"); q != 5 {
+		t.Fatalf("after 5 enabled cycles q = %d", q)
+	}
+	s.Set("en", false)
+	s.Run(3)
+	if q, _ := s.OutputVector("q"); q != 5 {
+		t.Fatalf("hold failed, q = %d", q)
+	}
+	s.Set("en", true)
+	s.Run(1)
+	if q, _ := s.OutputVector("q"); q != 6 {
+		t.Fatalf("re-enable failed, q = %d", q)
+	}
+}
+
+func TestPipelineLatency(t *testing.T) {
+	nl := elab(t, `
+module pipe(input clk, input [3:0] d, output [3:0] q);
+    reg [3:0] s1, s2, q;
+    always @(posedge clk) begin
+        s1 <= d;
+        s2 <= s1;
+        q <= s2;
+    end
+endmodule`, "pipe")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVector("d", 9)
+	s.Run(2)
+	if q, _ := s.OutputVector("q"); q != 0 {
+		t.Fatalf("value arrived too early: q = %d", q)
+	}
+	s.Run(1)
+	if q, _ := s.OutputVector("q"); q != 9 {
+		t.Fatalf("after 3 cycles q = %d, want 9", q)
+	}
+}
+
+func TestCombinationalLoopRejected(t *testing.T) {
+	lib := liberty.Nangate45()
+	nl := netlist.New("loop", lib)
+	a := nl.NewNet("a")
+	i1, _ := nl.AddCell(lib.Cell("INV_X1"), "", "loop", a)
+	i2, _ := nl.AddCell(lib.Cell("INV_X1"), "", "loop", i1.Output)
+	nl.SetInput(i1, 0, i2.Output)
+	if _, err := New(nl); err == nil {
+		t.Fatal("loop should be rejected")
+	}
+}
+
+func TestErrorsOnUnknownSignals(t *testing.T) {
+	nl := elab(t, "module m(input a, output y); assign y = ~a; endmodule", "m")
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("nope", true); err == nil {
+		t.Error("unknown input should error")
+	}
+	if err := s.SetVector("nope", 1); err == nil {
+		t.Error("unknown vector should error")
+	}
+	if _, err := s.Output("nope"); err == nil {
+		t.Error("unknown output should error")
+	}
+	if _, err := s.OutputVector("nope"); err == nil {
+		t.Error("unknown output vector should error")
+	}
+}
+
+// TestAllCellKinds exercises every combinational cell evaluation.
+func TestAllCellKinds(t *testing.T) {
+	lib := liberty.Nangate45()
+	cases := []struct {
+		cell string
+		ins  []bool
+		want bool
+	}{
+		{"INV_X1", []bool{true}, false},
+		{"BUF_X1", []bool{true}, true},
+		{"NAND2_X1", []bool{true, true}, false},
+		{"NOR2_X1", []bool{false, false}, true},
+		{"AND2_X1", []bool{true, true}, true},
+		{"OR2_X1", []bool{false, true}, true},
+		{"XOR2_X1", []bool{true, false}, true},
+		{"XNOR2_X1", []bool{true, false}, false},
+		{"MUX2_X1", []bool{false, true, true}, true}, // sel=1 picks input 1
+		{"MUX2_X1", []bool{false, true, false}, false},
+		{"AOI21_X1", []bool{true, true, false}, false},
+		{"OAI21_X1", []bool{false, false, true}, true},
+		{"NAND3_X1", []bool{true, true, false}, true},
+		{"NOR3_X1", []bool{false, false, false}, true},
+		{"AND3_X1", []bool{true, true, true}, true},
+		{"OR3_X1", []bool{false, false, false}, false},
+		{"NAND4_X1", []bool{true, true, true, true}, false},
+		{"NOR4_X1", []bool{false, false, false, true}, false},
+	}
+	for _, c := range cases {
+		nl := netlist.New("t", lib)
+		ins := make([]*netlist.Net, len(c.ins))
+		for i := range c.ins {
+			n := nl.NewNet("")
+			n.PI = true
+			n.Name = "in" + string(rune('0'+i))
+			nl.Inputs = append(nl.Inputs, n)
+			ins[i] = n
+		}
+		cell, err := nl.AddCell(lib.Cell(c.cell), "", "t", ins...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cell, err)
+		}
+		cell.Output.PO = true
+		cell.Output.Name = "y"
+		nl.Outputs = append(nl.Outputs, cell.Output)
+		s, err := New(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range c.ins {
+			s.Set("in"+string(rune('0'+i)), v)
+		}
+		s.Eval()
+		got, _ := s.Output("y")
+		if got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.cell, c.ins, got, c.want)
+		}
+	}
+}
+
+// TestWriteVerilogFunctionalRoundTrip is the strongest writer check: the
+// structural netlist written by the tool re-elaborates to a circuit that
+// behaves identically, cycle by cycle, under random stimulus.
+func TestWriteVerilogFunctionalRoundTrip(t *testing.T) {
+	src := `
+module rt(input clk, input [3:0] a, input [3:0] b, input s, output [4:0] y, output r);
+    reg [4:0] y;
+    wire [4:0] sum;
+    assign sum = a + b;
+    always @(posedge clk) y <= s ? sum : {1'b0, a ^ b};
+    assign r = a[0] & b[3];
+endmodule`
+	orig := elab(t, src, "rt")
+	written := netlist.WriteVerilog(orig)
+	f, err := verilog.Parse(written)
+	if err != nil {
+		t.Fatalf("written netlist does not parse: %v", err)
+	}
+	re, err := netlist.Elaborate(f, "rt", nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatalf("written netlist does not elaborate: %v", err)
+	}
+	so, err := New(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := New(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for cyc := 0; cyc < 40; cyc++ {
+		a := uint64(rng.Intn(16))
+		b := uint64(rng.Intn(16))
+		s := rng.Intn(2) == 1
+		so.SetVector("a", a)
+		so.SetVector("b", b)
+		so.Set("s", s)
+		// The written netlist's ports are flattened: a[i] -> a_i.
+		for i := 0; i < 4; i++ {
+			sr.Set(fmt.Sprintf("a_%d", i), a>>uint(i)&1 == 1)
+			sr.Set(fmt.Sprintf("b_%d", i), b>>uint(i)&1 == 1)
+		}
+		sr.Set("s", s)
+		so.Step()
+		so.Eval()
+		sr.Step()
+		sr.Eval()
+		wantY, _ := so.OutputVector("y")
+		var gotY uint64
+		for i := 0; i < 5; i++ {
+			bit, err := sr.Output(fmt.Sprintf("y_%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bit {
+				gotY |= 1 << uint(i)
+			}
+		}
+		wantR, _ := so.Output("r")
+		gotR, _ := sr.Output("r")
+		if gotY != wantY || gotR != wantR {
+			t.Fatalf("cycle %d: y=%d r=%v, want y=%d r=%v", cyc, gotY, gotR, wantY, wantR)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package sta implements static timing analysis over gate-level netlists
+// using the library's linear delay model and wireload-based net parasitics.
+// It produces the three timing metrics the paper's evaluation reports —
+// worst negative slack (WNS), critical path slack (CPS), and total negative
+// slack (TNS) — along with per-endpoint slacks and critical-path traces
+// used by the optimizer and by report_timing.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// Constraints configures an analysis run.
+type Constraints struct {
+	Period        float64 // clock period, ns
+	InputDelay    float64 // arrival time at primary inputs
+	OutputDelay   float64 // required-time margin at primary outputs
+	OutputLoad    float64 // capacitive load on primary outputs, pF
+	InputDriveRes float64 // driving-cell resistance at primary inputs, ns/pF
+}
+
+// DefaultOutputLoad is used when Constraints.OutputLoad is zero.
+const DefaultOutputLoad = 0.004
+
+// DefaultInputDriveRes models the pad/driver behind each primary input, so
+// loading an input net is not free and buffering high-fanout input nets
+// pays off the way it does in a real flow.
+const DefaultInputDriveRes = 6.0
+
+// Timing holds the results of one STA run.
+type Timing struct {
+	NL     *netlist.Netlist
+	WL     *liberty.WireLoad
+	Cons   Constraints
+	arr    map[*netlist.Net]float64
+	req    map[*netlist.Net]float64
+	order  []*netlist.Cell // combinational cells in topological order
+	ends   []Endpoint
+}
+
+// Endpoint is a timing path endpoint: a flip-flop D pin or a primary output.
+type Endpoint struct {
+	Name    string
+	Net     *netlist.Net // the net arriving at the endpoint
+	Cell    *netlist.Cell // nil for primary outputs
+	Arrival float64
+	Slack   float64
+}
+
+// Analyze runs full forward/backward timing propagation. It returns an error
+// on combinational loops.
+func Analyze(nl *netlist.Netlist, wl *liberty.WireLoad, cons Constraints) (*Timing, error) {
+	if cons.OutputLoad == 0 {
+		cons.OutputLoad = DefaultOutputLoad
+	}
+	if cons.InputDriveRes == 0 {
+		cons.InputDriveRes = DefaultInputDriveRes
+	}
+	t := &Timing{
+		NL:   nl,
+		WL:   wl,
+		Cons: cons,
+		arr:  make(map[*netlist.Net]float64, len(nl.Nets)),
+		req:  make(map[*netlist.Net]float64, len(nl.Nets)),
+	}
+	if err := t.levelize(); err != nil {
+		return nil, err
+	}
+	t.forward()
+	t.backward()
+	t.collectEndpoints()
+	return t, nil
+}
+
+// LoadCap returns the total capacitive load on a net: sink pin caps, the
+// wireload estimate for its fanout, and the output pad load if it is a
+// primary output.
+func (t *Timing) LoadCap(n *netlist.Net) float64 {
+	load := 0.0
+	for _, p := range n.Sinks {
+		load += p.Cell.Ref.InputCap
+	}
+	if n.PO {
+		load += t.Cons.OutputLoad
+	}
+	return load + t.WL.Cap(n.Fanout())
+}
+
+// stageDelay is the delay from a cell's inputs to its output net's sinks:
+// cell delay under load plus the lumped wire delay.
+func (t *Timing) stageDelay(c *netlist.Cell) float64 {
+	load := t.LoadCap(c.Output)
+	wire := 0.0
+	if t.WL != nil {
+		wire = t.WL.Res * t.WL.Cap(c.Output.Fanout())
+	}
+	return c.Ref.Delay(load) + wire
+}
+
+// levelize topologically orders combinational cells; sequential cells are
+// timing sources and sinks, not ordered.
+func (t *Timing) levelize() error {
+	indeg := make(map[*netlist.Cell]int)
+	var ready []*netlist.Cell
+	for _, c := range t.NL.Cells {
+		if c.IsSeq() {
+			continue
+		}
+		deps := 0
+		for _, in := range c.Inputs {
+			if in.Driver != nil && !in.Driver.IsSeq() {
+				deps++
+			}
+		}
+		indeg[c] = deps
+		if deps == 0 {
+			ready = append(ready, c)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+	order := make([]*netlist.Cell, 0, len(indeg))
+	for len(ready) > 0 {
+		c := ready[0]
+		ready = ready[1:]
+		order = append(order, c)
+		for _, p := range c.Output.Sinks {
+			s := p.Cell
+			if s.IsSeq() {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(indeg) {
+		for c, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("combinational loop detected through cell %s (%s)", c.Name, c.Ref.Name)
+			}
+		}
+	}
+	t.order = order
+	return nil
+}
+
+func (t *Timing) forward() {
+	// Sources. Primary inputs arrive after their external driver charges
+	// the net's load.
+	for _, n := range t.NL.Inputs {
+		t.arr[n] = t.Cons.InputDelay + t.Cons.InputDriveRes*t.LoadCap(n) + t.wireDelay(n)
+	}
+	for _, c := range t.NL.Cells {
+		if c.IsSeq() {
+			t.arr[c.Output] = c.Ref.Delay(t.LoadCap(c.Output)) + t.wireDelay(c.Output)
+		}
+	}
+	// Propagate through combinational cells.
+	for _, c := range t.order {
+		worst := 0.0
+		for _, in := range c.Inputs {
+			if a, ok := t.arr[in]; ok && a > worst {
+				worst = a
+			}
+		}
+		t.arr[c.Output] = worst + t.stageDelay(c)
+	}
+}
+
+func (t *Timing) wireDelay(n *netlist.Net) float64 {
+	if t.WL == nil {
+		return 0
+	}
+	return t.WL.Res * t.WL.Cap(n.Fanout())
+}
+
+func (t *Timing) backward() {
+	inf := math.Inf(1)
+	for _, n := range t.NL.Nets {
+		t.req[n] = inf
+	}
+	// Endpoint required times.
+	for _, c := range t.NL.Cells {
+		if !c.IsSeq() {
+			continue
+		}
+		d := c.Inputs[0]
+		r := t.Cons.Period - c.Ref.Setup
+		if r < t.req[d] {
+			t.req[d] = r
+		}
+	}
+	for _, o := range t.NL.Outputs {
+		r := t.Cons.Period - t.Cons.OutputDelay
+		if r < t.req[o] {
+			t.req[o] = r
+		}
+	}
+	// Propagate backward through combinational cells.
+	for i := len(t.order) - 1; i >= 0; i-- {
+		c := t.order[i]
+		r := t.req[c.Output] - t.stageDelay(c)
+		for _, in := range c.Inputs {
+			if r < t.req[in] {
+				t.req[in] = r
+			}
+		}
+	}
+}
+
+func (t *Timing) collectEndpoints() {
+	for _, c := range t.NL.Cells {
+		if !c.IsSeq() {
+			continue
+		}
+		d := c.Inputs[0]
+		arr := t.arr[d]
+		slack := t.Cons.Period - c.Ref.Setup - arr
+		t.ends = append(t.ends, Endpoint{
+			Name:    c.Name + "/D",
+			Net:     d,
+			Cell:    c,
+			Arrival: arr,
+			Slack:   slack,
+		})
+	}
+	for _, o := range t.NL.Outputs {
+		arr := t.arr[o]
+		slack := t.Cons.Period - t.Cons.OutputDelay - arr
+		t.ends = append(t.ends, Endpoint{
+			Name:    o.Name,
+			Net:     o,
+			Arrival: arr,
+			Slack:   slack,
+		})
+	}
+	sort.Slice(t.ends, func(i, j int) bool {
+		if t.ends[i].Slack != t.ends[j].Slack {
+			return t.ends[i].Slack < t.ends[j].Slack
+		}
+		return t.ends[i].Name < t.ends[j].Name
+	})
+}
+
+// Endpoints returns all endpoints sorted worst-slack first.
+func (t *Timing) Endpoints() []Endpoint { return t.ends }
+
+// CPS is the critical path slack: the slack of the single worst path,
+// positive when the design meets timing with margin.
+func (t *Timing) CPS() float64 {
+	if len(t.ends) == 0 {
+		return t.Cons.Period
+	}
+	return t.ends[0].Slack
+}
+
+// WNS is the worst negative slack: min(0, CPS).
+func (t *Timing) WNS() float64 {
+	cps := t.CPS()
+	if cps > 0 {
+		return 0
+	}
+	return cps
+}
+
+// TNS is the total negative slack summed over violating endpoints.
+func (t *Timing) TNS() float64 {
+	var tns float64
+	for _, e := range t.ends {
+		if e.Slack < 0 {
+			tns += e.Slack
+		}
+	}
+	return tns
+}
+
+// Arrival returns the arrival time at a net (0 for unknown nets).
+func (t *Timing) Arrival(n *netlist.Net) float64 { return t.arr[n] }
+
+// Required returns the required time at a net (+Inf when unconstrained).
+func (t *Timing) Required(n *netlist.Net) float64 {
+	if r, ok := t.req[n]; ok {
+		return r
+	}
+	return math.Inf(1)
+}
+
+// Slack returns required - arrival at a net.
+func (t *Timing) Slack(n *netlist.Net) float64 { return t.Required(n) - t.Arrival(n) }
+
+// PathStep is one stage on a timing path.
+type PathStep struct {
+	Cell    *netlist.Cell // nil for the startpoint marker
+	Net     *netlist.Net
+	Incr    float64 // delay contributed by this stage
+	Arrival float64
+}
+
+// Path is a startpoint-to-endpoint timing path.
+type Path struct {
+	Startpoint string
+	Endpoint   string
+	Slack      float64
+	Steps      []PathStep
+}
+
+// CriticalPath traces the single worst path in the design.
+func (t *Timing) CriticalPath() Path {
+	if len(t.ends) == 0 {
+		return Path{}
+	}
+	return t.TracePath(t.ends[0])
+}
+
+// TracePath walks backward from an endpoint along maximum-arrival inputs.
+func (t *Timing) TracePath(end Endpoint) Path {
+	p := Path{Endpoint: end.Name, Slack: end.Slack}
+	var rev []PathStep
+	n := end.Net
+	for n != nil {
+		c := n.Driver
+		if c == nil {
+			p.Startpoint = n.Name
+			rev = append(rev, PathStep{Net: n, Arrival: t.arr[n]})
+			break
+		}
+		rev = append(rev, PathStep{Cell: c, Net: n, Incr: t.stageDelay(c), Arrival: t.arr[n]})
+		if c.IsSeq() {
+			p.Startpoint = c.Name + "/CK"
+			break
+		}
+		// Continue via the input with the latest arrival.
+		var worstIn *netlist.Net
+		worstArr := math.Inf(-1)
+		for _, in := range c.Inputs {
+			a := t.arr[in]
+			if a > worstArr || (a == worstArr && worstIn != nil && in.ID < worstIn.ID) {
+				worstArr = a
+				worstIn = in
+			}
+		}
+		n = worstIn
+	}
+	// Reverse into source-to-sink order.
+	for i := len(rev) - 1; i >= 0; i-- {
+		p.Steps = append(p.Steps, rev[i])
+	}
+	return p
+}
+
+// WorstPaths returns up to n paths, one per worst endpoint.
+func (t *Timing) WorstPaths(n int) []Path {
+	if n > len(t.ends) {
+		n = len(t.ends)
+	}
+	paths := make([]Path, 0, n)
+	for i := 0; i < n; i++ {
+		paths = append(paths, t.TracePath(t.ends[i]))
+	}
+	return paths
+}
+
+// CriticalCells returns the set of cells lying on paths with slack below
+// the threshold, for the optimizer to focus on.
+func (t *Timing) CriticalCells(slackBelow float64) []*netlist.Cell {
+	var out []*netlist.Cell
+	seen := make(map[*netlist.Cell]bool)
+	for _, c := range t.order {
+		s := t.Slack(c.Output)
+		if s < slackBelow && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxFanoutViolations lists nets whose fanout exceeds the limit.
+func (t *Timing) MaxFanoutViolations(limit int) []*netlist.Net {
+	if limit <= 0 {
+		return nil
+	}
+	var out []*netlist.Net
+	for _, n := range t.NL.Nets {
+		if n.IsClk || n.IsRst || n.Const {
+			continue
+		}
+		if n.Fanout() > limit {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fanout() > out[j].Fanout() })
+	return out
+}

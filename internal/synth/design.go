@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// Design is a netlist under synthesis: the netlist plus the constraints the
+// script has applied so far.
+type Design struct {
+	NL        *netlist.Netlist
+	WL        *liberty.WireLoad
+	Cons      sta.Constraints
+	MaxFanout int     // 0 = unconstrained
+	MaxArea   float64 // 0 = unconstrained
+	Compiled  bool
+	ClockPort string
+}
+
+// Timing runs STA with the design's current constraints.
+func (d *Design) Timing() (*sta.Timing, error) {
+	if d.Cons.Period <= 0 {
+		return nil, fmt.Errorf("no clock constraint: run create_clock first")
+	}
+	return sta.Analyze(d.NL, d.WL, d.Cons)
+}
+
+// QoR summarizes quality of results: the metrics in the paper's Tables III
+// and IV plus cell statistics.
+type QoR struct {
+	Design     string
+	Period     float64
+	WNS        float64 // worst negative slack (ns), <= 0
+	CPS        float64 // critical path slack (ns), sign-free
+	TNS        float64 // total negative slack (ns), <= 0
+	Area       float64 // um^2
+	Leakage    float64 // nW
+	Cells      int
+	Seq        int
+	Violations int // violating endpoints
+}
+
+// MeetsTiming reports whether the design closed timing.
+func (q QoR) MeetsTiming() bool { return q.WNS >= 0 }
+
+// QoR computes the design's current quality of results.
+func (d *Design) QoR() (QoR, error) {
+	tm, err := d.Timing()
+	if err != nil {
+		return QoR{}, err
+	}
+	viol := 0
+	for _, e := range tm.Endpoints() {
+		if e.Slack < 0 {
+			viol++
+		}
+	}
+	return QoR{
+		Design:     d.NL.Name,
+		Period:     d.Cons.Period,
+		WNS:        tm.WNS(),
+		CPS:        tm.CPS(),
+		TNS:        tm.TNS(),
+		Area:       d.NL.Area(),
+		Leakage:    d.NL.Leakage(),
+		Cells:      len(d.NL.Cells),
+		Seq:        d.NL.SeqCount(),
+		Violations: viol,
+	}, nil
+}
+
+// Effort is a compile effort level.
+type Effort int
+
+const (
+	EffortLow Effort = iota
+	EffortMedium
+	EffortHigh
+)
+
+// ParseEffort converts dc_shell effort strings.
+func ParseEffort(s string) (Effort, error) {
+	switch s {
+	case "low":
+		return EffortLow, nil
+	case "medium":
+		return EffortMedium, nil
+	case "high":
+		return EffortHigh, nil
+	}
+	return 0, fmt.Errorf("invalid effort %q (must be low, medium, or high)", s)
+}
+
+// CompileOptions configures a compile or compile_ultra run.
+type CompileOptions struct {
+	MapEffort        Effort
+	AreaEffort       Effort
+	Incremental      bool
+	Ultra            bool
+	Retime           bool // compile_ultra -retime
+	NoAutoUngroup    bool // compile_ultra -no_autoungroup
+	TimingHighEffort bool // compile_ultra -timing_high_effort_script
+	AreaHighEffort   bool // compile_ultra -area_high_effort_script
+}
+
+// Compile runs the synthesis optimization flow. Which passes run — and
+// therefore what QoR comes out — depends mechanically on the options, so a
+// well-customized script visibly beats a generic one.
+func Compile(d *Design, opts CompileOptions) error {
+	if d.Cons.Period <= 0 {
+		return fmt.Errorf("compile: no clock constraint defined (create_clock)")
+	}
+	Sweep(d.NL)
+
+	if opts.Ultra && !opts.NoAutoUngroup {
+		d.NL.Ungroup("")
+		Sweep(d.NL) // boundary inverter pairs become removable
+	}
+
+	effort := opts.MapEffort
+	if opts.Ultra {
+		effort = EffortHigh
+	}
+
+	if effort >= EffortMedium && !opts.Incremental {
+		Restructure(d.NL)
+	}
+	if effort >= EffortHigh && !opts.Incremental {
+		BalanceTrees(d.NL)
+		Restructure(d.NL)
+	}
+
+	// Fanout buffering happens only under an explicit constraint: choosing
+	// set_max_fanout/balance_buffers is exactly the kind of design-specific
+	// decision the customization experiment measures.
+	if d.MaxFanout > 0 {
+		BufferHighFanout(d.NL, d.MaxFanout)
+	}
+
+	if opts.Retime {
+		Retime(d.NL, d.WL, d.Cons, 4000)
+	}
+
+	// Effort controls how hard sizing works: iterations, the strongest
+	// drive it may use, and the smallest win it still takes.
+	so := map[Effort]SizeOptions{
+		EffortLow:    {MaxIters: 2, MaxDrive: 2, MinGain: 0.004},
+		EffortMedium: {MaxIters: 8, MaxDrive: 4, MinGain: 0.0015},
+		EffortHigh:   {MaxIters: 16, MaxDrive: 8, MinGain: 0.0004},
+	}[effort]
+	if opts.Ultra {
+		so = SizeOptions{MaxIters: 24, MaxDrive: 16, MinGain: 0.0001}
+	}
+	if opts.TimingHighEffort {
+		so.MaxIters += 12
+		so.TargetSlack = 0.10 * d.Cons.Period
+	}
+	SizeForTimingOpt(d.NL, d.WL, d.Cons, so)
+
+	areaMargin := -1.0 // skip
+	switch {
+	case opts.AreaHighEffort:
+		areaMargin = 0.08
+	case opts.Ultra:
+		areaMargin = 0.15
+	case opts.AreaEffort >= EffortHigh:
+		areaMargin = 0.12
+	case opts.AreaEffort == EffortMedium || effort >= EffortMedium:
+		areaMargin = 0.30
+	}
+	if areaMargin >= 0 {
+		AreaRecovery(d.NL, d.WL, d.Cons, areaMargin)
+		if opts.AreaHighEffort {
+			AreaRecovery(d.NL, d.WL, d.Cons, areaMargin)
+		}
+	}
+
+	Sweep(d.NL)
+	d.Compiled = true
+	return nil
+}

@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/sta"
+	"repro/internal/verilog"
+)
+
+// The equivalence suite is the synthesis tool's functional safety net:
+// every optimization pass is applied to a netlist and the result is
+// simulated against an untouched elaboration of the same RTL over random
+// stimulus. Sequential designs compare cycle-by-cycle; retiming (which
+// legally changes register placement) compares steady-state outputs under
+// held inputs on feedforward pipelines.
+
+func elabFresh(t *testing.T, src, top string) *netlist.Netlist {
+	t.Helper()
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nl, err := netlist.Elaborate(f, top, nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return nl
+}
+
+// stimulus is a deterministic random input sequence, generated once and
+// applied identically to both netlists.
+type stimulus struct {
+	cycles []map[string]bool
+}
+
+func makeStimulus(nl *netlist.Netlist, cycles int, seed int64) stimulus {
+	rng := rand.New(rand.NewSource(seed))
+	st := stimulus{}
+	for c := 0; c < cycles; c++ {
+		vec := make(map[string]bool, len(nl.Inputs))
+		for _, in := range nl.Inputs {
+			vec[in.Name] = rng.Intn(2) == 1
+		}
+		st.cycles = append(st.cycles, vec)
+	}
+	return st
+}
+
+// trace runs the stimulus and records all primary outputs per cycle.
+func trace(t *testing.T, nl *netlist.Netlist, st stimulus) []map[string]bool {
+	t.Helper()
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	var out []map[string]bool
+	for _, vec := range st.cycles {
+		for name, v := range vec {
+			if err := s.Set(name, v); err != nil {
+				t.Fatalf("set %s: %v", name, err)
+			}
+		}
+		s.Step()
+		s.Eval()
+		out = append(out, s.OutputBits())
+	}
+	return out
+}
+
+func assertEquivalent(t *testing.T, golden, opt *netlist.Netlist, seed int64, label string) {
+	t.Helper()
+	st := makeStimulus(golden, 24, seed)
+	g := trace(t, golden, st)
+	o := trace(t, opt, st)
+	for c := range g {
+		for name, want := range g[c] {
+			if got, ok := o[c][name]; !ok || got != want {
+				t.Fatalf("%s: cycle %d output %s = %v, want %v", label, c, name, got, want)
+			}
+		}
+	}
+}
+
+// equivalence test corpus: small versions of each structural archetype.
+var equivSources = []struct {
+	name, src, top string
+}{
+	{"comb_mix", `
+module comb_mix(input [7:0] a, input [7:0] b, input s, output [7:0] y, output r);
+    wire [7:0] t;
+    assign t = (a & b) ^ (a | ~b);
+    assign y = s ? t + a : t - b;
+    assign r = a[0] & a[1] & a[2] & a[3] & a[4] & a[5] & a[6] & a[7];
+endmodule`, "comb_mix"},
+	{"seq_alu", `
+module seq_alu(input clk, input [1:0] op, input [7:0] a, input [7:0] b, output [7:0] q);
+    reg [7:0] q;
+    wire [7:0] sum, lg;
+    assign sum = a + b;
+    assign lg = (a ^ b) | (a & b);
+    always @(posedge clk) q <= op[0] ? sum : (op[1] ? lg : a);
+endmodule`, "seq_alu"},
+	{"hier_wrap", `
+module hier_wrap(input clk, input [5:0] d_n, output [5:0] q);
+    wire [5:0] inner_n, inner;
+    assign inner_n = ~d_n;
+    sub u (.clk(clk), .x_n(inner_n), .y(inner));
+    assign q = inner ^ d_n;
+endmodule
+module sub(input clk, input [5:0] x_n, output [5:0] y);
+    wire [5:0] x;
+    assign x = ~x_n;
+    reg [5:0] y;
+    always @(posedge clk) y <= x + 6'd3;
+endmodule`, "hier_wrap"},
+	{"fanout_heavy", `
+module fanout_heavy(input clk, input en, input [15:0] d, output [15:0] q);
+    reg [15:0] q;
+    always @(posedge clk)
+        if (en) q <= d ^ {16{en}};
+endmodule`, "fanout_heavy"},
+	{"mult_small", `
+module mult_small(input clk, input [4:0] a, input [4:0] b, output [9:0] p);
+    reg [9:0] p;
+    always @(posedge clk) p <= a * b;
+endmodule`, "mult_small"},
+}
+
+func TestSweepPreservesFunction(t *testing.T) {
+	for _, c := range equivSources {
+		golden := elabFresh(t, c.src, c.top)
+		opt := elabFresh(t, c.src, c.top)
+		opt.Ungroup("")
+		Sweep(opt)
+		if err := opt.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertEquivalent(t, golden, opt, 100, c.name+"/sweep")
+	}
+}
+
+func TestRestructurePreservesFunction(t *testing.T) {
+	for _, c := range equivSources {
+		golden := elabFresh(t, c.src, c.top)
+		opt := elabFresh(t, c.src, c.top)
+		opt.Ungroup("")
+		Sweep(opt)
+		Restructure(opt)
+		if err := opt.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertEquivalent(t, golden, opt, 101, c.name+"/restructure")
+	}
+}
+
+func TestBalanceTreesPreservesFunction(t *testing.T) {
+	for _, c := range equivSources {
+		golden := elabFresh(t, c.src, c.top)
+		opt := elabFresh(t, c.src, c.top)
+		opt.Ungroup("")
+		BalanceTrees(opt)
+		if err := opt.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertEquivalent(t, golden, opt, 102, c.name+"/balance")
+	}
+}
+
+func TestBufferAndSizingPreserveFunction(t *testing.T) {
+	wl := liberty.Nangate45().WireLoad("5K_heavy_1k")
+	for _, c := range equivSources {
+		golden := elabFresh(t, c.src, c.top)
+		opt := elabFresh(t, c.src, c.top)
+		BufferHighFanout(opt, 4)
+		SizeForTiming(opt, wl, sta.Constraints{Period: 0.3}, 0, 6)
+		AreaRecovery(opt, wl, sta.Constraints{Period: 5}, 0.2)
+		if err := opt.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertEquivalent(t, golden, opt, 103, c.name+"/buffer+size")
+	}
+}
+
+func TestFullCompilePreservesFunction(t *testing.T) {
+	wl := liberty.Nangate45().WireLoad("5K_heavy_1k")
+	for _, c := range equivSources {
+		for _, ultra := range []bool{false, true} {
+			golden := elabFresh(t, c.src, c.top)
+			opt := elabFresh(t, c.src, c.top)
+			d := &Design{NL: opt, WL: wl, Cons: sta.Constraints{Period: 1.0}, MaxFanout: 8}
+			if err := Compile(d, CompileOptions{MapEffort: EffortHigh, Ultra: ultra}); err != nil {
+				t.Fatalf("%s: compile: %v", c.name, err)
+			}
+			if err := opt.Check(); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			assertEquivalent(t, golden, opt, 104, c.name+"/compile")
+		}
+	}
+}
+
+// TestRetimePreservesSteadyState checks retiming on a feedforward pipeline:
+// with inputs held constant, both netlists must converge to identical
+// outputs once the pipeline has flushed (register placement may legally
+// differ in between).
+func TestRetimePreservesSteadyState(t *testing.T) {
+	src := `
+module ffpipe(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+    reg [7:0] s1, q;
+    wire [7:0] deep;
+    assign deep = ((a + b) ^ (a << 1)) + (b >> 1);
+    always @(posedge clk) begin
+        s1 <= deep;
+        q <= s1;
+    end
+endmodule`
+	wl := liberty.Nangate45().WireLoad("5K_heavy_1k")
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		golden := elabFresh(t, src, "ffpipe")
+		opt := elabFresh(t, src, "ffpipe")
+		Sweep(opt)
+		moves := Retime(opt, wl, sta.Constraints{Period: 0.55}, 4000)
+		if trial == 0 && moves == 0 {
+			t.Fatal("retime made no moves; test needs an actually-retimed netlist")
+		}
+		if err := opt.Check(); err != nil {
+			t.Fatal(err)
+		}
+		a := uint64(rng.Intn(256))
+		b := uint64(rng.Intn(256))
+		sg, err := sim.New(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, err := sim.New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg.SetVector("a", a)
+		sg.SetVector("b", b)
+		so.SetVector("a", a)
+		so.SetVector("b", b)
+		sg.Run(20)
+		so.Run(20)
+		want, _ := sg.OutputVector("q")
+		got, _ := so.OutputVector("q")
+		if got != want {
+			t.Fatalf("steady state after retime: q = %d, want %d (a=%d b=%d)", got, want, a, b)
+		}
+	}
+}
+
+// TestBenchmarkCompileEquivalence runs the heaviest check: a real benchmark
+// design through the complete ultra flow, verified cycle-exact.
+func TestBenchmarkCompileEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-design equivalence is slow")
+	}
+	d := designs.RiscV32i()
+	golden := elabFresh(t, d.Source, d.Top)
+	opt := elabFresh(t, d.Source, d.Top)
+	wl := liberty.Nangate45().WireLoad("5K_heavy_1k")
+	des := &Design{NL: opt, WL: wl, Cons: sta.Constraints{Period: d.Period}, MaxFanout: 16}
+	if err := Compile(des, CompileOptions{Ultra: true}); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, golden, opt, 105, "riscv32i/ultra")
+}

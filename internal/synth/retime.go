@@ -1,0 +1,241 @@
+package synth
+
+import (
+	"math"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// Retime implements timing-driven register retiming (the optimize_registers
+// command): flip-flops move backward or forward across single gates on
+// critical paths whenever the neighbouring pipeline stage has enough slack
+// to absorb the gate's delay. This is the pass that rescues designs with
+// unbalanced register placement — the scenario the paper cites as the case
+// where retiming beats buffer balancing — and it does nothing for designs
+// whose stages are already balanced.
+func Retime(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraints, maxMoves int) int {
+	const margin = 0.02
+	moves := 0
+	prevWNS := math.Inf(-1)
+	for moves < maxMoves {
+		tm, err := sta.Analyze(nl, wl, cons)
+		if err != nil {
+			return moves
+		}
+		if tm.WNS() >= 0 {
+			return moves
+		}
+		// Stop if the last sweep failed to improve WNS: the violating paths
+		// are not register-imbalance-limited, and further moves only add
+		// flops (the "wrong tool" outcome the manual warns about).
+		if tm.WNS() <= prevWNS+1e-9 && !math.IsInf(prevWNS, -1) {
+			return moves
+		}
+		prevWNS = tm.WNS()
+		// One sweep: try a move at every violating endpoint using this
+		// timing snapshot, then re-analyze. Flops consumed by earlier moves
+		// in the sweep are skipped.
+		present := make(map[*netlist.Cell]bool, len(nl.Cells))
+		for _, c := range nl.Cells {
+			present[c] = true
+		}
+		applied := 0
+		for _, end := range tm.Endpoints() {
+			if end.Slack >= 0 {
+				break
+			}
+			if moves+applied >= maxMoves {
+				break
+			}
+			if end.Cell != nil {
+				if !present[end.Cell] {
+					continue
+				}
+				if removed := retimeBackward(nl, tm, end.Cell, margin); removed != nil {
+					for _, f := range removed {
+						delete(present, f)
+					}
+					applied++
+					continue
+				}
+			}
+			// Try a forward move at the path's launching register.
+			path := tm.TracePath(end)
+			if len(path.Steps) > 0 {
+				first := path.Steps[0]
+				if first.Cell != nil && first.Cell.IsSeq() && present[first.Cell] {
+					if g := soleCombSink(first.Cell.Output); g != nil && !g.IsSeq() {
+						// Capture the feeding flops before the move rewires g.
+						var flops []*netlist.Cell
+						okAll := true
+						for _, in := range g.Inputs {
+							f := in.Driver
+							if f == nil || !f.IsSeq() || !present[f] {
+								okAll = false
+								break
+							}
+							flops = append(flops, f)
+						}
+						if okAll && retimeForward(nl, tm, g, margin) {
+							for _, f := range flops {
+								delete(present, f)
+							}
+							applied++
+						}
+					}
+				}
+			}
+		}
+		if applied == 0 {
+			return moves
+		}
+		moves += applied
+	}
+	return moves
+}
+
+func soleCombSink(n *netlist.Net) *netlist.Cell {
+	if len(n.Sinks) != 1 || n.PO {
+		return nil
+	}
+	c := n.Sinks[0].Cell
+	if c.IsSeq() {
+		return nil
+	}
+	return c
+}
+
+// retimeBackward moves the registers after gate g onto g's inputs:
+//
+//	ins -> g -> flop(s) -> downstream   becomes   ins -> flops -> g -> downstream
+//
+// f is one of the flops fed by g. Legal when every sink of g's output is an
+// identical flop (the common case is exactly one), and profitable when the
+// downstream stage of each can absorb g's delay. It returns the flops
+// removed, or nil when no move was made.
+func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin float64) []*netlist.Cell {
+	if f.Fixed {
+		return nil
+	}
+	d := f.Inputs[0]
+	g := d.Driver
+	if g == nil || g.IsSeq() || g.Fixed || len(g.Inputs) == 0 || d.PO {
+		return nil
+	}
+	if !sameGroup(f, g) {
+		return nil
+	}
+	// Every sink of g must be a flop compatible with f.
+	var flops []*netlist.Cell
+	for _, p := range d.Sinks {
+		s := p.Cell
+		if !s.IsSeq() || s.Fixed || s.Ref != f.Ref || s.Clock != f.Clock || s.Reset != f.Reset {
+			return nil
+		}
+		if s.Output.PO && len(d.Sinks) > 1 {
+			// Merging would alias two output ports onto one net.
+			return nil
+		}
+		flops = append(flops, s)
+	}
+	if len(flops) == 0 {
+		return nil
+	}
+	// Profitability: each flop's downstream stage absorbs g's stage delay.
+	gain := stageDelayOf(tm, g)
+	for _, fl := range flops {
+		if tm.Slack(fl.Output) < gain+margin {
+			return nil
+		}
+	}
+	// Insert a flop on each input of g.
+	for i, in := range g.Inputs {
+		nf, err := nl.AddCell(f.Ref, f.Group, f.Module, in)
+		if err != nil {
+			return nil
+		}
+		nf.Clock = f.Clock
+		nf.Reset = f.Reset
+		nl.SetInput(g, i, nf.Output)
+	}
+	// g now drives what the flops used to drive.
+	if len(flops) == 1 && flops[0].Output.PO {
+		q := flops[0].Output
+		nl.RemoveCell(flops[0])
+		// Keep the PO net's identity: g moves onto it. The old D net is
+		// left dangling and gets swept.
+		if err := nl.MoveOutput(g, q); err != nil {
+			return nil
+		}
+		return flops
+	}
+	for _, fl := range flops {
+		nl.ReplaceNet(fl.Output, d)
+		nl.RemoveCell(fl)
+	}
+	return flops
+}
+
+// retimeForward moves the flops feeding gate g to g's output:
+//
+//	flops -> g -> downstream   becomes   g -> flop -> downstream
+//
+// legal when every input of g comes from a single-fanout flop and
+// profitable when the upstream stage can absorb g's delay.
+func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin float64) bool {
+	if g.Fixed || g.IsSeq() || len(g.Inputs) == 0 || g.Output.PO {
+		return false
+	}
+	var flops []*netlist.Cell
+	for _, in := range g.Inputs {
+		f := in.Driver
+		if f == nil || !f.IsSeq() || f.Fixed || in.PO || len(in.Sinks) != 1 {
+			return false
+		}
+		if !sameGroup(f, g) {
+			return false
+		}
+		flops = append(flops, f)
+	}
+	// All flops must share clock/reset.
+	for _, f := range flops[1:] {
+		if f.Clock != flops[0].Clock || f.Reset != flops[0].Reset {
+			return false
+		}
+	}
+	// Profitability: each upstream stage absorbs g's delay.
+	gain := stageDelayOf(tm, g)
+	for _, f := range flops {
+		if tm.Slack(f.Inputs[0])-gain < margin {
+			return false
+		}
+	}
+	proto := flops[0]
+	// Rewire g to read the flops' D nets directly.
+	for i, f := range flops {
+		nl.SetInput(g, i, f.Inputs[0])
+	}
+	// New flop after g: old downstream sinks of g move to the new flop's Q.
+	q := g.Output
+	sinks := append([]*netlist.Pin(nil), q.Sinks...)
+	nf, err := nl.AddCell(proto.Ref, g.Group, g.Module, q)
+	if err != nil {
+		return false
+	}
+	nf.Clock = proto.Clock
+	nf.Reset = proto.Reset
+	for _, p := range sinks {
+		nl.SetInput(p.Cell, p.Index, nf.Output)
+	}
+	for _, f := range flops {
+		nl.RemoveCell(f)
+	}
+	return true
+}
+
+func stageDelayOf(tm *sta.Timing, c *netlist.Cell) float64 {
+	load := tm.LoadCap(c.Output)
+	return c.Ref.Delay(load)
+}

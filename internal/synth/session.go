@@ -1,0 +1,409 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/verilog"
+)
+
+// Session executes synthesis scripts against an in-memory source filesystem,
+// standing in for dc_shell. Sources maps file names (as used by
+// read_verilog) to Verilog text.
+type Session struct {
+	Lib     *liberty.Library
+	Sources map[string]string
+	// ParamOverrides apply at elaboration (top-level parameters).
+	ParamOverrides map[string]int64
+}
+
+// NewSession creates a session over the given library.
+func NewSession(lib *liberty.Library) *Session {
+	return &Session{Lib: lib, Sources: make(map[string]string)}
+}
+
+// AddSource registers a Verilog file.
+func (s *Session) AddSource(name, src string) { s.Sources[name] = src }
+
+// Result is the outcome of running a script.
+type Result struct {
+	Design   *Design
+	QoR      *QoR
+	Reports  []string // output of report_* commands in order
+	Netlists []string // output of write commands (structural Verilog)
+	Log      []string // transcript lines
+}
+
+// Run parses and executes a script. Any command error aborts the run, the
+// way a dc_shell batch run aborts on an invalid command — this is what makes
+// hallucinated commands costly for the baseline pipelines.
+func (s *Session) Run(script string) (*Result, error) {
+	cmds, err := ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	st := &execState{sess: s, res: res}
+	for _, c := range cmds {
+		if err := st.exec(c); err != nil {
+			return nil, fmt.Errorf("line %d: %s: %v", c.Line, c.Name, err)
+		}
+	}
+	if st.design != nil && st.design.Cons.Period > 0 {
+		q, err := st.design.QoR()
+		if err != nil {
+			return nil, err
+		}
+		res.QoR = &q
+		res.Design = st.design
+	}
+	return res, nil
+}
+
+type execState struct {
+	sess    *Session
+	res     *Result
+	file    *verilog.SourceFile
+	top     string
+	design  *Design
+	wlName  string
+	didComp bool
+}
+
+func (st *execState) logf(format string, args ...any) {
+	st.res.Log = append(st.res.Log, fmt.Sprintf(format, args...))
+}
+
+func (st *execState) needDesign() (*Design, error) {
+	if st.design != nil {
+		return st.design, nil
+	}
+	if st.file == nil {
+		return nil, fmt.Errorf("no design read (read_verilog required)")
+	}
+	if st.top == "" {
+		if len(st.file.Modules) == 0 {
+			return nil, fmt.Errorf("no modules in read sources")
+		}
+		st.top = st.file.Modules[len(st.file.Modules)-1].Name
+	}
+	nl, err := netlist.Elaborate(st.file, st.top, st.sess.ParamOverrides, st.sess.Lib)
+	if err != nil {
+		return nil, fmt.Errorf("link: %v", err)
+	}
+	wl := st.sess.Lib.WireLoad(st.wlName)
+	st.design = &Design{NL: nl, WL: wl}
+	st.logf("linked design %s: %d cells, %d registers", st.top, len(nl.Cells), nl.SeqCount())
+	return st.design, nil
+}
+
+func (st *execState) exec(c Cmd) error {
+	switch c.Name {
+	case "read_verilog":
+		merged := &verilog.SourceFile{}
+		if st.file != nil {
+			merged.Modules = st.file.Modules
+		}
+		for _, fname := range c.Args {
+			src, ok := st.sess.Sources[fname]
+			if !ok {
+				return fmt.Errorf("file %q not found", fname)
+			}
+			f, err := verilog.Parse(src)
+			if err != nil {
+				return err
+			}
+			merged.Modules = append(merged.Modules, f.Modules...)
+		}
+		st.file = merged
+		st.logf("read %d file(s), %d module(s) total", len(c.Args), len(merged.Modules))
+
+	case "current_design":
+		if st.file == nil {
+			return fmt.Errorf("no design read (read_verilog required)")
+		}
+		if st.file.FindModule(c.Args[0]) == nil {
+			return fmt.Errorf("module %q not found in read sources", c.Args[0])
+		}
+		st.top = c.Args[0]
+
+	case "link":
+		_, err := st.needDesign()
+		return err
+
+	case "set_wire_load_model":
+		name, ok := c.Opts["-name"]
+		if !ok {
+			if len(c.Args) == 1 {
+				name = c.Args[0]
+			} else {
+				return fmt.Errorf("missing -name option")
+			}
+		}
+		if _, exists := st.sess.Lib.WireLoads[name]; !exists {
+			return fmt.Errorf("wireload model %q not in library", name)
+		}
+		st.wlName = name
+		if st.design != nil {
+			st.design.WL = st.sess.Lib.WireLoad(name)
+		}
+
+	case "create_clock":
+		p, ok := c.Opts["-period"]
+		if !ok {
+			return fmt.Errorf("missing -period option")
+		}
+		period, err := strconv.ParseFloat(p, 64)
+		if err != nil || period <= 0 {
+			return fmt.Errorf("invalid period %q", p)
+		}
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		d.Cons.Period = period
+		if len(c.Args) == 1 {
+			d.ClockPort = c.Args[0]
+		}
+
+	case "set_input_delay", "set_output_delay":
+		v, err := strconv.ParseFloat(c.Args[0], 64)
+		if err != nil {
+			return fmt.Errorf("invalid delay %q", c.Args[0])
+		}
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		if c.Name == "set_input_delay" {
+			d.Cons.InputDelay = v
+		} else {
+			d.Cons.OutputDelay = v
+		}
+
+	case "set_max_fanout":
+		n, err := strconv.Atoi(c.Args[0])
+		if err != nil || n < 2 {
+			return fmt.Errorf("invalid fanout limit %q", c.Args[0])
+		}
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		d.MaxFanout = n
+
+	case "set_max_area":
+		a, err := strconv.ParseFloat(c.Args[0], 64)
+		if err != nil || a < 0 {
+			return fmt.Errorf("invalid area %q", c.Args[0])
+		}
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		d.MaxArea = a
+
+	case "set_dont_touch":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		pattern := c.Args[0]
+		n := 0
+		for _, cell := range d.NL.Cells {
+			if matchPattern(cell.Group, pattern) || matchPattern(cell.Module, pattern) {
+				cell.Fixed = true
+				n++
+			}
+		}
+		st.logf("set_dont_touch: %d cells protected", n)
+
+	case "ungroup":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		prefix := ""
+		if _, all := c.Opts["-all"]; !all {
+			if len(c.Args) == 1 {
+				prefix = c.Args[0]
+			}
+		}
+		n := d.NL.Ungroup(prefix)
+		st.logf("ungrouped %d cells", n)
+
+	case "uniquify":
+		_, err := st.needDesign()
+		return err
+
+	case "compile", "compile_ultra":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		opts := CompileOptions{MapEffort: EffortMedium}
+		if c.Name == "compile_ultra" {
+			opts.Ultra = true
+			_, opts.Retime = c.Opts["-retime"]
+			_, opts.NoAutoUngroup = c.Opts["-no_autoungroup"]
+			_, opts.TimingHighEffort = c.Opts["-timing_high_effort_script"]
+			_, opts.AreaHighEffort = c.Opts["-area_high_effort_script"]
+		} else {
+			if eff, ok := c.Opts["-map_effort"]; ok {
+				e, err := ParseEffort(eff)
+				if err != nil {
+					return err
+				}
+				opts.MapEffort = e
+			}
+			if eff, ok := c.Opts["-area_effort"]; ok {
+				e, err := ParseEffort(eff)
+				if err != nil {
+					return err
+				}
+				opts.AreaEffort = e
+			}
+			_, opts.Incremental = c.Opts["-incremental"]
+		}
+		if err := Compile(d, opts); err != nil {
+			return err
+		}
+		st.didComp = true
+		q, err := d.QoR()
+		if err != nil {
+			return err
+		}
+		st.logf("%s done: WNS %.3f CPS %.3f TNS %.3f area %.2f", c.Name, q.WNS, q.CPS, q.TNS, q.Area)
+
+	case "optimize_registers":
+		if !st.didComp {
+			return fmt.Errorf("optimize_registers must follow compile or compile_ultra")
+		}
+		d := st.design
+		moves := Retime(d.NL, d.WL, d.Cons, 4000)
+		Sweep(d.NL)
+		st.logf("optimize_registers: %d register moves", moves)
+
+	case "balance_buffers":
+		if !st.didComp {
+			return fmt.Errorf("balance_buffers must follow compile or compile_ultra")
+		}
+		d := st.design
+		limit := d.MaxFanout
+		if limit == 0 {
+			limit = 12
+		}
+		n := BufferHighFanout(d.NL, limit)
+		SizeForTiming(d.NL, d.WL, d.Cons, 0, 6)
+		st.logf("balance_buffers: %d buffers inserted", n)
+
+	case "report_timing":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		maxPaths := 1
+		if v, ok := c.Opts["-max_paths"]; ok {
+			if maxPaths, err = strconv.Atoi(v); err != nil || maxPaths < 1 {
+				return fmt.Errorf("invalid -max_paths %q", v)
+			}
+		}
+		rep, err := ReportTiming(d, maxPaths)
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, rep)
+
+	case "report_area":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, ReportArea(d))
+
+	case "report_qor":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		rep, err := ReportQoR(d)
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, rep)
+
+	case "report_power":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		if d.Cons.Period <= 0 {
+			return fmt.Errorf("no clock constraint defined (create_clock)")
+		}
+		vectors := 64
+		if v, ok := c.Opts["-vectors"]; ok {
+			if vectors, err = strconv.Atoi(v); err != nil || vectors < 2 {
+				return fmt.Errorf("invalid -vectors %q", v)
+			}
+		}
+		rep, err := power.Analyze(d.NL, d.WL, d.Cons.Period, vectors, 1)
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, rep.Format(d.NL.Name))
+
+	case "report_hierarchy":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, ReportHierarchy(d))
+
+	case "report_constraint":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		rep, err := ReportConstraint(d)
+		if err != nil {
+			return err
+		}
+		st.res.Reports = append(st.res.Reports, rep)
+
+	case "write":
+		d, err := st.needDesign()
+		if err != nil {
+			return err
+		}
+		if f, ok := c.Opts["-format"]; ok && f != "verilog" {
+			return fmt.Errorf("unsupported format %q (only verilog)", f)
+		}
+		st.res.Netlists = append(st.res.Netlists, netlist.WriteVerilog(d.NL))
+		st.logf("write: %d cells as structural verilog", len(d.NL.Cells))
+
+	case "set":
+		// handled during parsing
+
+	case "echo":
+		st.logf("%s", strings.Join(c.Args, " "))
+
+	default:
+		return fmt.Errorf("command not implemented")
+	}
+	return nil
+}
+
+// matchPattern does glob-lite matching: "*" suffix wildcard only.
+func matchPattern(s, pattern string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(s, strings.TrimSuffix(pattern, "*"))
+	}
+	return s == pattern
+}

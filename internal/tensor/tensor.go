@@ -1,0 +1,238 @@
+// Package tensor provides the dense linear algebra the GNN needs: row-major
+// matrices, matrix products, and vector utilities (dot, norm, cosine
+// similarity). It is deliberately small — just enough to train and run
+// GraphSAGE without any external dependency.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewRandom allocates a matrix with Xavier-uniform entries from rng.
+func NewRandom(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matmul shape mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ*b, used for weight gradients.
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("matmulATB shape mismatch: %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a*bᵀ, used for input gradients.
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matmulABT shape mismatch: %dx%d * %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Matrix) {
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func AddRowVector(m *Matrix, v []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ReLUInPlace applies max(0, x) in place and returns the activation mask.
+func ReLUInPlace(m *Matrix) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// MaskInPlace zeroes entries whose mask is false (ReLU backprop).
+func MaskInPlace(m *Matrix, mask []bool) {
+	for i := range m.Data {
+		if !mask[i] {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// Vector helpers.
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func Norm(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Cosine returns the cosine similarity of two vectors (0 when either is
+// the zero vector).
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// L2Dist returns the Euclidean distance.
+func L2Dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize returns a/||a|| (a copy; zero vectors pass through).
+func Normalize(a []float64) []float64 {
+	n := Norm(a)
+	out := make([]float64, len(a))
+	if n == 0 {
+		copy(out, a)
+		return out
+	}
+	for i := range a {
+		out[i] = a[i] / n
+	}
+	return out
+}
+
+// Mean returns the element-wise mean of the vectors.
+func Mean(vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vecs[0]))
+	for _, v := range vecs {
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vecs))
+	}
+	return out
+}
+
+// Scale multiplies a vector by s in place.
+func Scale(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Axpy computes a += s*b in place.
+func Axpy(a []float64, s float64, b []float64) {
+	for i := range a {
+		a[i] += s * b[i]
+	}
+}

@@ -1,0 +1,91 @@
+package textembed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestEmbedDeterministicAndNormalized(t *testing.T) {
+	e := New(128)
+	a := e.Embed("retiming balances pipeline stages")
+	b := e.Embed("retiming balances pipeline stages")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	if math.Abs(tensor.Norm(a)-1) > 1e-9 {
+		t.Errorf("embedding not unit-norm: %g", tensor.Norm(a))
+	}
+	if len(a) != 128 {
+		t.Errorf("dim = %d", len(a))
+	}
+}
+
+func TestSimilarityRanksTopically(t *testing.T) {
+	e := New(512)
+	corpus := []string{
+		"optimize_registers - retime registers to balance pipeline stages",
+		"balance_buffers - build buffer trees on high-fanout nets",
+		"create_clock - define the clock and its period",
+		"report_area - report cell area statistics",
+	}
+	e.Fit(corpus)
+	query := "how do I fix timing on a design with unbalanced register placement using retiming"
+	best, bestScore := -1, -1.0
+	for i, doc := range corpus {
+		s := e.Similarity(query, doc)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best != 0 {
+		t.Errorf("query about retiming matched doc %d, want 0", best)
+	}
+
+	q2 := "net has too many loads high fanout buffer tree"
+	best, bestScore = -1, -1.0
+	for i, doc := range corpus {
+		if s := e.Similarity(q2, doc); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best != 1 {
+		t.Errorf("fanout query matched doc %d, want 1", best)
+	}
+}
+
+func TestCommandNameTokenization(t *testing.T) {
+	toks := tokenize("compile_ultra -retime; WNS=-0.17")
+	want := map[string]bool{"compile_ultra": true, "-retime": true, "wns": true, "-0": true}
+	found := 0
+	for _, tok := range toks {
+		if want[tok] {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("tokens = %v, expected command names preserved", toks)
+	}
+}
+
+func TestEmbedEmptyAndUnfit(t *testing.T) {
+	e := New(64)
+	v := e.Embed("")
+	if tensor.Norm(v) != 0 {
+		t.Error("empty text should embed to zero vector")
+	}
+	// Unfit embedder still works with uniform weights.
+	if s := e.Similarity("compile the design", "compile the design"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self similarity = %g, want 1", s)
+	}
+}
+
+func TestDefaultDim(t *testing.T) {
+	e := New(0)
+	if e.Dim != 256 {
+		t.Errorf("default dim = %d, want 256", e.Dim)
+	}
+}

@@ -1,0 +1,225 @@
+// Package vecindex provides vector similarity search for SynthRAG's
+// embedding-based retrieval (paper Eq. 4), standing in for FAISS: an exact
+// flat index and a k-means IVF index with probe control, over cosine or
+// Euclidean metrics.
+package vecindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Metric selects the similarity function.
+type Metric int
+
+const (
+	Cosine Metric = iota // higher is better
+	L2                   // lower distance is better; scores are negated distances
+)
+
+// Hit is one search result; Score is always "higher is better".
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Index is the common search interface.
+type Index interface {
+	Add(id string, vec []float64) error
+	Search(query []float64, k int) []Hit
+	Len() int
+}
+
+// score converts a vector pair to a higher-is-better score.
+func score(metric Metric, q, v []float64) float64 {
+	switch metric {
+	case Cosine:
+		return tensor.Cosine(q, v)
+	default:
+		return -tensor.L2Dist(q, v)
+	}
+}
+
+// Flat is an exact brute-force index.
+type Flat struct {
+	Metric Metric
+	dim    int
+	ids    []string
+	vecs   [][]float64
+}
+
+// NewFlat creates an exact index for dim-dimensional vectors.
+func NewFlat(dim int, metric Metric) *Flat {
+	return &Flat{Metric: metric, dim: dim}
+}
+
+// Add inserts a vector.
+func (f *Flat) Add(id string, vec []float64) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("vector %q has dim %d, index wants %d", id, len(vec), f.dim)
+	}
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, append([]float64(nil), vec...))
+	return nil
+}
+
+// Len returns the number of stored vectors.
+func (f *Flat) Len() int { return len(f.ids) }
+
+// Search returns the top-k hits sorted by descending score.
+func (f *Flat) Search(query []float64, k int) []Hit {
+	hits := make([]Hit, 0, len(f.ids))
+	for i, v := range f.vecs {
+		hits = append(hits, Hit{ID: f.ids[i], Score: score(f.Metric, query, v)})
+	}
+	sortHits(hits)
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+func sortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+}
+
+// IVF is an inverted-file index: vectors are assigned to k-means centroids
+// and queries probe only the closest NProbe lists.
+type IVF struct {
+	Metric    Metric
+	NProbe    int
+	dim       int
+	nlist     int
+	seed      int64
+	centroids [][]float64
+	lists     [][]int // centroid -> vector indexes
+	ids       []string
+	vecs      [][]float64
+	trained   bool
+}
+
+// NewIVF creates an IVF index with nlist clusters.
+func NewIVF(dim, nlist int, metric Metric, seed int64) *IVF {
+	if nlist < 1 {
+		nlist = 1
+	}
+	return &IVF{Metric: metric, NProbe: 2, dim: dim, nlist: nlist, seed: seed}
+}
+
+// Add inserts a vector (train/retrain happens lazily on Search).
+func (ix *IVF) Add(id string, vec []float64) error {
+	if len(vec) != ix.dim {
+		return fmt.Errorf("vector %q has dim %d, index wants %d", id, len(vec), ix.dim)
+	}
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, append([]float64(nil), vec...))
+	ix.trained = false
+	return nil
+}
+
+// Len returns the number of stored vectors.
+func (ix *IVF) Len() int { return len(ix.ids) }
+
+// Train runs k-means over the stored vectors.
+func (ix *IVF) Train() {
+	n := len(ix.vecs)
+	k := ix.nlist
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		ix.trained = true
+		return
+	}
+	rng := rand.New(rand.NewSource(ix.seed))
+	// k-means++ style seeding: random distinct points.
+	perm := rng.Perm(n)
+	ix.centroids = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		ix.centroids[i] = append([]float64(nil), ix.vecs[perm[i]]...)
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for i, v := range ix.vecs {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range ix.centroids {
+				d := tensor.L2Dist(v, cent)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, ix.dim)
+		}
+		for i, v := range ix.vecs {
+			counts[assign[i]]++
+			tensor.Axpy(sums[assign[i]], 1, v)
+		}
+		for c := range ix.centroids {
+			if counts[c] > 0 {
+				tensor.Scale(sums[c], 1/float64(counts[c]))
+				ix.centroids[c] = sums[c]
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	ix.lists = make([][]int, k)
+	for i := range ix.vecs {
+		ix.lists[assign[i]] = append(ix.lists[assign[i]], i)
+	}
+	ix.trained = true
+}
+
+// Search probes the NProbe closest centroid lists.
+func (ix *IVF) Search(query []float64, k int) []Hit {
+	if !ix.trained {
+		ix.Train()
+	}
+	if len(ix.centroids) == 0 {
+		return nil
+	}
+	type cd struct {
+		c int
+		d float64
+	}
+	order := make([]cd, len(ix.centroids))
+	for c, cent := range ix.centroids {
+		order[c] = cd{c, tensor.L2Dist(query, cent)}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	probes := ix.NProbe
+	if probes > len(order) {
+		probes = len(order)
+	}
+	var hits []Hit
+	for p := 0; p < probes; p++ {
+		for _, vi := range ix.lists[order[p].c] {
+			hits = append(hits, Hit{ID: ix.ids[vi], Score: score(ix.Metric, query, ix.vecs[vi])})
+		}
+	}
+	sortHits(hits)
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,171 @@
+package vecindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatExactSearch(t *testing.T) {
+	ix := NewFlat(3, Cosine)
+	vecs := map[string][]float64{
+		"x": {1, 0, 0},
+		"y": {0, 1, 0},
+		"xy": {1, 1, 0},
+		"z": {0, 0, 1},
+	}
+	for id, v := range vecs {
+		if err := ix.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 4 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	hits := ix.Search([]float64{1, 0.1, 0}, 2)
+	if len(hits) != 2 || hits[0].ID != "x" {
+		t.Fatalf("hits = %v, want x first", hits)
+	}
+	if hits[1].ID != "xy" {
+		t.Errorf("second hit = %s, want xy", hits[1].ID)
+	}
+	if err := ix.Add("bad", []float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestFlatL2(t *testing.T) {
+	ix := NewFlat(2, L2)
+	ix.Add("near", []float64{1, 1})
+	ix.Add("far", []float64{10, 10})
+	hits := ix.Search([]float64{0, 0}, 2)
+	if hits[0].ID != "near" {
+		t.Errorf("L2 order wrong: %v", hits)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Error("scores must be higher-is-better")
+	}
+}
+
+func TestFlatDeterministicTieBreak(t *testing.T) {
+	ix := NewFlat(2, Cosine)
+	ix.Add("b", []float64{1, 0})
+	ix.Add("a", []float64{1, 0})
+	hits := ix.Search([]float64{1, 0}, 2)
+	if hits[0].ID != "a" || hits[1].ID != "b" {
+		t.Errorf("tie break should be by ID: %v", hits)
+	}
+}
+
+func clusteredData(rng *rand.Rand, perCluster int) (ids []string, vecs [][]float64, labels []int) {
+	centers := [][]float64{{5, 0, 0, 0}, {0, 5, 0, 0}, {0, 0, 5, 0}, {0, 0, 0, 5}}
+	for c, center := range centers {
+		for i := 0; i < perCluster; i++ {
+			v := make([]float64, 4)
+			for j := range v {
+				v[j] = center[j] + rng.NormFloat64()*0.4
+			}
+			ids = append(ids, fmt.Sprintf("c%d_%d", c, i))
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return
+}
+
+func TestIVFMatchesFlatOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids, vecs, labels := clusteredData(rng, 25)
+	flat := NewFlat(4, L2)
+	ivf := NewIVF(4, 4, L2, 42)
+	for i := range ids {
+		flat.Add(ids[i], vecs[i])
+		ivf.Add(ids[i], vecs[i])
+	}
+	// Query near each cluster center: IVF top-5 should match flat top-5.
+	agree := 0
+	total := 0
+	for c := 0; c < 4; c++ {
+		q := make([]float64, 4)
+		q[c] = 5
+		fh := flat.Search(q, 5)
+		ih := ivf.Search(q, 5)
+		if len(ih) != 5 {
+			t.Fatalf("IVF returned %d hits", len(ih))
+		}
+		fset := map[string]bool{}
+		for _, h := range fh {
+			fset[h.ID] = true
+		}
+		for _, h := range ih {
+			total++
+			if fset[h.ID] {
+				agree++
+			}
+		}
+		// All IVF hits must be from the right cluster.
+		for _, h := range ih {
+			var idx int
+			fmt.Sscanf(h.ID, "c%d_", &idx)
+			if labels[0] >= 0 && idx != c {
+				t.Errorf("query %d returned %s from wrong cluster", c, h.ID)
+			}
+		}
+	}
+	if agree < total*8/10 {
+		t.Errorf("IVF agreement with flat too low: %d/%d", agree, total)
+	}
+}
+
+func TestIVFRetrainAfterAdd(t *testing.T) {
+	ivf := NewIVF(2, 2, L2, 1)
+	ivf.Add("a", []float64{0, 0})
+	_ = ivf.Search([]float64{0, 0}, 1) // forces train
+	ivf.Add("b", []float64{9, 9})
+	hits := ivf.Search([]float64{9, 9}, 1)
+	if len(hits) != 1 || hits[0].ID != "b" {
+		t.Errorf("post-add search = %v, want b", hits)
+	}
+}
+
+func TestIVFEmpty(t *testing.T) {
+	ivf := NewIVF(2, 4, Cosine, 3)
+	if hits := ivf.Search([]float64{1, 0}, 3); len(hits) != 0 {
+		t.Errorf("empty index returned %v", hits)
+	}
+}
+
+// Property: flat search always returns results sorted by descending score
+// and the top-1 is the true argmax.
+func TestFlatTopOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := NewFlat(3, L2)
+		n := 5 + r.Intn(20)
+		best := ""
+		bestD := 1e18
+		q := []float64{r.Float64(), r.Float64(), r.Float64()}
+		for i := 0; i < n; i++ {
+			v := []float64{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+			id := fmt.Sprintf("v%02d", i)
+			ix.Add(id, v)
+			d := (v[0]-q[0])*(v[0]-q[0]) + (v[1]-q[1])*(v[1]-q[1]) + (v[2]-q[2])*(v[2]-q[2])
+			if d < bestD {
+				bestD, best = d, id
+			}
+		}
+		hits := ix.Search(q, n)
+		for i := 1; i < len(hits); i++ {
+			if hits[i].Score > hits[i-1].Score {
+				return false
+			}
+		}
+		return hits[0].ID == best
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

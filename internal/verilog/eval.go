@@ -1,0 +1,125 @@
+package verilog
+
+import "fmt"
+
+// ConstEval evaluates a constant expression given a parameter environment.
+// It is used for parameter values, ranges, and replication counts.
+func ConstEval(e Expr, params map[string]int64) (int64, error) {
+	switch v := e.(type) {
+	case *Number:
+		return int64(v.Value), nil
+	case *Ident:
+		if val, ok := params[v.Name]; ok {
+			return val, nil
+		}
+		return 0, fmt.Errorf("%s: %q is not a constant parameter", v.Pos, v.Name)
+	case *Unary:
+		x, err := ConstEval(v.X, params)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "-":
+			return -x, nil
+		case "~":
+			return ^x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%s: unary %q not allowed in constant expression", v.Pos, v.Op)
+	case *Binary:
+		l, err := ConstEval(v.L, params)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ConstEval(v.R, params)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("%s: division by zero in constant expression", v.Pos)
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero in constant expression", v.Pos)
+			}
+			return l % r, nil
+		case "<<", "<<<":
+			return l << uint(r), nil
+		case ">>", ">>>":
+			return l >> uint(r), nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "==":
+			return b2i(l == r), nil
+		case "!=":
+			return b2i(l != r), nil
+		case "<":
+			return b2i(l < r), nil
+		case "<=":
+			return b2i(l <= r), nil
+		case ">":
+			return b2i(l > r), nil
+		case ">=":
+			return b2i(l >= r), nil
+		case "&&":
+			return b2i(l != 0 && r != 0), nil
+		case "||":
+			return b2i(l != 0 || r != 0), nil
+		}
+		return 0, fmt.Errorf("%s: binary %q not allowed in constant expression", v.Pos, v.Op)
+	case *Ternary:
+		c, err := ConstEval(v.Cond, params)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return ConstEval(v.T, params)
+		}
+		return ConstEval(v.F, params)
+	}
+	return 0, fmt.Errorf("expression %s is not constant", e.String())
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RangeWidth resolves a range to its bit width under a parameter environment.
+// A nil range has width 1.
+func RangeWidth(r *Range, params map[string]int64) (width, lsb int, err error) {
+	if r == nil {
+		return 1, 0, nil
+	}
+	msbV, err := ConstEval(r.MSB, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	lsbV, err := ConstEval(r.LSB, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	if msbV < lsbV {
+		return 0, 0, fmt.Errorf("descending range [%d:%d] not supported", msbV, lsbV)
+	}
+	return int(msbV - lsbV + 1), int(lsbV), nil
+}

@@ -1,0 +1,197 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // raw literal text, decoded by the parser
+	tokPunct  // operators and punctuation
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Position
+}
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "assign": true,
+	"always": true, "posedge": true, "negedge": true, "begin": true,
+	"end": true, "if": true, "else": true, "parameter": true,
+	"localparam": true, "and": true, "or": true, "nand": true,
+	"nor": true, "xor": true, "xnor": true, "not": true, "buf": true,
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{
+	"<<<", ">>>", "===", "!==",
+	"<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "~&", "~|", "~^", "^~",
+}
+
+// lexer converts Verilog source into tokens, discarding comments.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Position { return Position{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.off < len(lx.src) && lx.src[lx.off] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.off++
+	}
+}
+
+func (lx *lexer) peek() byte {
+	if lx.off < len(lx.src) {
+		return lx.src[lx.off]
+	}
+	return 0
+}
+
+func (lx *lexer) peekAt(n int) byte {
+	if lx.off+n < len(lx.src) {
+		return lx.src[lx.off+n]
+	}
+	return 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ||
+		c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' || c == '_'
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (lx *lexer) next() (token, error) {
+	for {
+		// Skip whitespace.
+		for lx.off < len(lx.src) {
+			c := lx.src[lx.off]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				lx.advance(1)
+				continue
+			}
+			break
+		}
+		if lx.off >= len(lx.src) {
+			return token{kind: tokEOF, pos: lx.pos()}, nil
+		}
+		// Skip comments.
+		if lx.peek() == '/' && lx.peekAt(1) == '/' {
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.advance(1)
+			}
+			continue
+		}
+		if lx.peek() == '/' && lx.peekAt(1) == '*' {
+			start := lx.pos()
+			lx.advance(2)
+			for {
+				if lx.off >= len(lx.src) {
+					return token{}, fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance(2)
+					break
+				}
+				lx.advance(1)
+			}
+			continue
+		}
+		// Skip compiler directives (`timescale, `define usage is out of subset
+		// but tolerated as whole-line skips).
+		if lx.peek() == '`' {
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.advance(1)
+			}
+			continue
+		}
+		break
+	}
+
+	pos := lx.pos()
+	c := lx.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.src[lx.off]) {
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.off]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+
+	case isDigit(c) || c == '\'':
+		return lx.lexNumber(pos)
+
+	default:
+		for _, mp := range multiPunct {
+			if strings.HasPrefix(lx.src[lx.off:], mp) {
+				lx.advance(len(mp))
+				return token{kind: tokPunct, text: mp, pos: pos}, nil
+			}
+		}
+		lx.advance(1)
+		return token{kind: tokPunct, text: string(c), pos: pos}, nil
+	}
+}
+
+// lexNumber scans decimal literals and based literals like 8'hFF, 'b0101.
+func (lx *lexer) lexNumber(pos Position) (token, error) {
+	start := lx.off
+	// Optional size prefix.
+	for lx.off < len(lx.src) && (isDigit(lx.src[lx.off]) || lx.src[lx.off] == '_') {
+		lx.advance(1)
+	}
+	if lx.peek() == '\'' {
+		lx.advance(1)
+		base := lx.peek()
+		switch base {
+		case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+			lx.advance(1)
+		default:
+			return token{}, fmt.Errorf("%s: invalid number base %q", pos, string(base))
+		}
+		digits := 0
+		for lx.off < len(lx.src) && isHexDigit(lx.src[lx.off]) {
+			lx.advance(1)
+			digits++
+		}
+		if digits == 0 {
+			return token{}, fmt.Errorf("%s: based literal has no digits", pos)
+		}
+	}
+	return token{kind: tokNumber, text: lx.src[start:lx.off], pos: pos}, nil
+}

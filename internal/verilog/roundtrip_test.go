@@ -1,0 +1,92 @@
+package verilog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestExprStringRoundTrip: printing an expression and re-parsing it yields
+// a structurally identical expression (compared via a second print).
+func TestExprStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, 4)
+		src := fmt.Sprintf("module t(input a, output y); assign y = %s; endmodule", e.String())
+		m, err := ParseModule(src)
+		if err != nil {
+			t.Fatalf("round trip parse of %q failed: %v", e.String(), err)
+		}
+		var got Expr
+		for _, it := range m.Items {
+			if a, ok := it.(*Assign); ok {
+				got = a.RHS
+			}
+		}
+		if got == nil {
+			t.Fatalf("no assign parsed from %q", src)
+		}
+		if got.String() != e.String() {
+			t.Fatalf("round trip changed expression:\n  in:  %s\n  out: %s", e.String(), got.String())
+		}
+	}
+}
+
+// randomExpr builds a random expression over a few identifiers.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Ident{Name: []string{"a", "b", "sig", "x1"}[rng.Intn(4)]}
+		case 1:
+			return &Number{Width: 8, Value: uint64(rng.Intn(256))}
+		default:
+			return &Index{X: &Ident{Name: "bus"}, I: &Number{Value: uint64(rng.Intn(8))}}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		ops := []string{"&", "|", "^", "+", "-", "==", "<", ">>", "<<"}
+		return &Binary{Op: ops[rng.Intn(len(ops))], L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		ops := []string{"~", "!", "&", "|", "^"}
+		return &Unary{Op: ops[rng.Intn(len(ops))], X: randomExpr(rng, depth-1)}
+	case 2:
+		return &Ternary{Cond: randomExpr(rng, depth-1), T: randomExpr(rng, depth-1), F: randomExpr(rng, depth-1)}
+	case 3:
+		return &Concat{Parts: []Expr{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	default:
+		return &Repl{N: &Number{Value: uint64(1 + rng.Intn(4))}, X: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestModuleSourceCapture: every parsed module's Source field re-parses to
+// a module with the same name and port count (the property SynthRAG's code
+// retrieval depends on).
+func TestModuleSourceCapture(t *testing.T) {
+	src := `
+module first(input a, output y);
+    assign y = ~a;
+endmodule
+
+module second #(parameter W = 4) (input [W-1:0] d, output [W-1:0] q);
+    assign q = d ^ {W{1'b1}};
+endmodule
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range f.Modules {
+		re, err := ParseModule(m.Source)
+		if err != nil {
+			t.Fatalf("module %s: captured source does not re-parse: %v\n%s", m.Name, err, m.Source)
+		}
+		if re.Name != m.Name {
+			t.Errorf("captured source has name %s, want %s", re.Name, m.Name)
+		}
+		if len(re.Ports) != len(m.Ports) {
+			t.Errorf("module %s: port count changed %d -> %d", m.Name, len(m.Ports), len(re.Ports))
+		}
+	}
+}
