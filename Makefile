@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test short race vet ci
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the fault-injection tests (resilience_test.go).
+test:
+	$(GO) test ./...
+
+# Fast subset: skips the slow database-build experiments.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet race

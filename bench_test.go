@@ -14,6 +14,7 @@ package chatls
 // produces the same tables as standalone output.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -63,7 +64,7 @@ func BenchmarkTable2DatabaseBuild(b *testing.B) {
 func BenchmarkTable4Baseline(b *testing.B) {
 	cfg := DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := Table4(cfg)
+		rows, err := Table4(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func BenchmarkTable3Comparison(b *testing.B) {
 	db := sharedBenchDB(b)
 	cfg := DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := Table3(cfg, db)
+		rows, err := Table3(context.Background(), cfg, db)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkAblation(b *testing.B) {
 	db := sharedBenchDB(b)
 	cfg := DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := Ablations(cfg, db)
+		rows, err := Ablations(context.Background(), cfg, db)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,14 +200,14 @@ func BenchmarkCompileUltraSwerv(b *testing.B) {
 func BenchmarkCustomizeChatLS(b *testing.B) {
 	db := sharedBenchDB(b)
 	lib := liberty.Nangate45()
-	task, _, err := NewTask(designs.DynamicNode(), lib)
+	task, _, err := NewTask(context.Background(), designs.DynamicNode(), lib)
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := NewChatLS(llm.New(llm.GPT4o, 1), db)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Customize(task, i); err != nil {
+		if _, err := p.Customize(context.Background(), task, i); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -220,7 +221,7 @@ func BenchmarkIterativeClosure(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Designs = []*designs.Design{designs.EthMAC(), designs.TinyRocket(), designs.JPEG()}
 	for i := 0; i < b.N; i++ {
-		rows, err := IterativeClosure(cfg, db, 3)
+		rows, err := IterativeClosure(context.Background(), cfg, db, 3)
 		if err != nil {
 			b.Fatal(err)
 		}

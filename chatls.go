@@ -25,6 +25,7 @@
 package chatls
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/synthexpert"
 	"repro/internal/synthrag"
@@ -56,13 +58,13 @@ type Task struct {
 
 // NewTask runs the baseline script once and packages the customization
 // problem the way the paper's flow does (user provides design, script, and
-// tool reports).
-func NewTask(d *designs.Design, lib *liberty.Library) (*Task, synth.QoR, error) {
+// tool reports). The context bounds the baseline synthesis run.
+func NewTask(ctx context.Context, d *designs.Design, lib *liberty.Library) (*Task, synth.QoR, error) {
 	sess := synth.NewSession(lib)
 	sess.AddSource(d.FileName, d.Source)
-	res, err := sess.Run(d.BaselineScript())
+	res, err := sess.RunContext(ctx, d.BaselineScript())
 	if err != nil {
-		return nil, synth.QoR{}, fmt.Errorf("baseline %s: %v", d.Name, err)
+		return nil, synth.QoR{}, fmt.Errorf("baseline %s: %w", d.Name, err)
 	}
 	return &Task{
 		Design:         d,
@@ -74,10 +76,11 @@ func NewTask(d *designs.Design, lib *liberty.Library) (*Task, synth.QoR, error) 
 }
 
 // Pipeline generates a customized script for a task. Sample indexes the
-// Pass@k attempt.
+// Pass@k attempt. The context bounds the whole generation flow; a cancelled
+// or expired context aborts with a resilience.ErrCancelled/ErrTimeout error.
 type Pipeline interface {
 	Name() string
-	Customize(t *Task, sample int) (string, error)
+	Customize(ctx context.Context, t *Task, sample int) (string, error)
 }
 
 // RawPipeline is the baseline comparison: the generator sees the
@@ -91,7 +94,7 @@ type RawPipeline struct {
 func (p *RawPipeline) Name() string { return p.Model.Profile.Name }
 
 // Customize performs one-shot prompting with the raw design text.
-func (p *RawPipeline) Customize(t *Task, sample int) (string, error) {
+func (p *RawPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
 	var b strings.Builder
 	b.WriteString("## Requirement\n")
 	b.WriteString(t.Requirement)
@@ -101,7 +104,11 @@ func (p *RawPipeline) Customize(t *Task, sample int) (string, error) {
 	b.WriteString(t.BaselineReport)
 	b.WriteString("\n## RTL\n")
 	b.WriteString(t.Design.Source)
-	return p.Model.Generate(llm.GenRequest{Prompt: b.String(), Sample: sample}), nil
+	script, err := p.Model.GenerateContext(ctx, llm.GenRequest{Prompt: b.String(), Sample: sample})
+	if err != nil {
+		return "", resilience.ContextError(resilience.CompGenerate, err)
+	}
+	return script, nil
 }
 
 // ChatLSPipeline is the full framework: CircuitMentor analysis, SynthRAG
@@ -119,6 +126,15 @@ type ChatLSPipeline struct {
 	DisableExpert bool // no CoT refinement
 	// LastSteps records the CoT steps of the most recent Customize call.
 	LastSteps []synthexpert.Step
+	// Retry governs how component failures are retried before the pipeline
+	// degrades. Zero value means no retries (single attempt).
+	Retry resilience.RetryPolicy
+	// Inject, when set, is the fault-injection layer consulted before every
+	// component call (tests only).
+	Inject *resilience.Injector
+	// LastReport records which components degraded during the most recent
+	// Customize call; nil before the first call.
+	LastReport *resilience.DegradationReport
 }
 
 // NewChatLS assembles the standard pipeline over a built database.
@@ -129,6 +145,7 @@ func NewChatLS(model *llm.Model, db *synthrag.Database) *ChatLSPipeline {
 		Expert: synthexpert.New(model, db),
 		Alpha:  0.7,
 		Beta:   0.3,
+		Retry:  resilience.DefaultRetryPolicy(model.Seed),
 	}
 }
 
@@ -147,8 +164,43 @@ func (p *ChatLSPipeline) Name() string {
 	return name
 }
 
+// guard executes one component call under the pipeline's retry policy,
+// panic-recovery boundary, and (in tests) fault injector.
+func (p *ChatLSPipeline) guard(ctx context.Context, component string, fn func(context.Context) error) error {
+	return resilience.Execute(ctx, resilience.Op{
+		Component: component,
+		Policy:    p.Retry,
+		Injector:  p.Inject,
+	}, fn)
+}
+
+// Degradation reports which components degraded during the most recent
+// Customize call; nil before the first call, empty report when none did.
+func (p *ChatLSPipeline) Degradation() *resilience.DegradationReport { return p.LastReport }
+
+func hasErrors(issues []synth.Issue) bool {
+	for _, i := range issues {
+		if i.Severity == "error" {
+			return true
+		}
+	}
+	return false
+}
+
 // Customize runs the full ChatLS flow of Fig. 2 for one sample.
-func (p *ChatLSPipeline) Customize(t *Task, sample int) (string, error) {
+//
+// The flow is fault-tolerant: each auxiliary component (CircuitMentor,
+// SynthRAG embedding and retrieval, SynthExpert) runs under retry with
+// backoff and a panic-recovery boundary; if it still fails, the pipeline
+// degrades to the next-weaker configuration — proceeding without that
+// component's contribution — and records the event in LastReport. Only a
+// generator failure or a context cancellation/timeout aborts with an error,
+// so a degraded call always yields a runnable script (a wasted attempt in
+// the Pass@k sense, never a crash).
+func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
+	report := &resilience.DegradationReport{}
+	p.LastReport = report
+
 	var b strings.Builder
 	b.WriteString("## Requirement\n")
 	b.WriteString(t.Requirement)
@@ -156,23 +208,52 @@ func (p *ChatLSPipeline) Customize(t *Task, sample int) (string, error) {
 
 	var traits []string
 	if !p.DisableMentor {
-		analysis, err := circuitmentor.Analyze(t.Design.Source, t.Design.Top, t.Design.Period, t.Lib)
-		if err != nil {
-			return "", fmt.Errorf("circuitmentor: %v", err)
+		var analysis *circuitmentor.Analysis
+		err := p.guard(ctx, resilience.CompMentor, func(ctx context.Context) error {
+			var err error
+			analysis, err = circuitmentor.AnalyzeContext(ctx, t.Design.Source, t.Design.Top, t.Design.Period, t.Lib)
+			return err
+		})
+		switch {
+		case err == nil:
+			traits = analysis.Traits
+			b.WriteString("\n## Design characteristics\n")
+			b.WriteString(analysis.Render())
+		case resilience.IsFatal(err):
+			return "", err
+		default:
+			report.Record(resilience.CompMentor, "proceed without design characteristics", err)
 		}
-		traits = analysis.Traits
-		b.WriteString("\n## Design characteristics\n")
-		b.WriteString(analysis.Render())
 	}
 
 	if !p.DisableRAG {
-		emb, _, err := p.DB.EmbedDesign(t.Design.Source, t.Design.Top)
-		if err != nil {
-			return "", fmt.Errorf("embedding: %v", err)
+		var emb []float64
+		err := p.guard(ctx, resilience.CompRAGEmbed, func(ctx context.Context) error {
+			var err error
+			emb, _, err = p.DB.EmbedDesignContext(ctx, t.Design.Source, t.Design.Top)
+			return err
+		})
+		if err == nil {
+			var hits []synthrag.StrategyHit
+			err = p.guard(ctx, resilience.CompRAGRetrieve, func(ctx context.Context) error {
+				var err error
+				hits, err = p.DB.RetrieveStrategiesForContext(ctx, emb, traits, 2, p.Alpha, p.Beta, 0.25)
+				return err
+			})
+			switch {
+			case err == nil:
+				b.WriteString("\n## Retrieved strategies\n")
+				b.WriteString(synthrag.RenderStrategies(hits))
+			case resilience.IsFatal(err):
+				return "", err
+			default:
+				report.Record(resilience.CompRAGRetrieve, "proceed without retrieved strategies", err)
+			}
+		} else if resilience.IsFatal(err) {
+			return "", err
+		} else {
+			report.Record(resilience.CompRAGEmbed, "proceed without retrieved strategies", err)
 		}
-		hits := p.DB.RetrieveStrategiesFor(emb, traits, 2, p.Alpha, p.Beta, 0.25)
-		b.WriteString("\n## Retrieved strategies\n")
-		b.WriteString(synthrag.RenderStrategies(hits))
 	}
 
 	b.WriteString("\n## Baseline script\n")
@@ -180,12 +261,42 @@ func (p *ChatLSPipeline) Customize(t *Task, sample int) (string, error) {
 	b.WriteString("\n## Synthesis report\n")
 	b.WriteString(t.BaselineReport)
 
-	draft := p.Model.Generate(llm.GenRequest{Prompt: b.String(), Sample: sample})
+	var draft string
+	err := p.guard(ctx, resilience.CompGenerate, func(ctx context.Context) error {
+		var err error
+		draft, err = p.Model.GenerateContext(ctx, llm.GenRequest{Prompt: b.String(), Sample: sample})
+		return err
+	})
+	if err != nil {
+		// The generator is the one component with no weaker fallback: without
+		// a draft there is nothing to refine or emit.
+		return "", err
+	}
+
 	if p.DisableExpert {
 		p.LastSteps = nil
 		return draft, nil
 	}
-	refined, steps := p.Expert.Refine(draft, t.Baseline)
-	p.LastSteps = steps
-	return refined, nil
+
+	var refined string
+	var steps []synthexpert.Step
+	err = p.guard(ctx, resilience.CompExpert, func(ctx context.Context) error {
+		var err error
+		refined, steps, err = p.Expert.RefineContext(ctx, draft, t.Baseline)
+		return err
+	})
+	switch {
+	case err == nil:
+		p.LastSteps = steps
+		return refined, nil
+	case resilience.IsFatal(err):
+		return "", err
+	}
+	p.LastSteps = nil
+	if !hasErrors(synth.ValidateScript(draft)) {
+		report.Record(resilience.CompExpert, "emit unrefined draft", err)
+		return draft, nil
+	}
+	report.Record(resilience.CompExpert, "draft invalid without refinement; return baseline script", err)
+	return t.Baseline, nil
 }

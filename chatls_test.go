@@ -1,6 +1,7 @@
 package chatls
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func fullDB(t *testing.T) *synthrag.Database {
 }
 
 func TestNewTaskRunsBaseline(t *testing.T) {
-	task, q, err := NewTask(designs.RiscV32i(), testLib)
+	task, q, err := NewTask(context.Background(), designs.RiscV32i(), testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestNewTaskRunsBaseline(t *testing.T) {
 
 func TestRawPipelineProducesRunnableScriptsSometimes(t *testing.T) {
 	p := &RawPipeline{Model: llm.New(llm.GPT4o, 1)}
-	res, err := RunPassK(p, designs.RiscV32i(), 5, testLib)
+	res, err := RunPassK(context.Background(), p, designs.RiscV32i(), 5, testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestChatLSAllSamplesValid(t *testing.T) {
 		t.Skip("database build is slow")
 	}
 	p := NewChatLS(llm.New(llm.GPT4o, 20250706), fullDB(t))
-	res, err := RunPassK(p, designs.DynamicNode(), 5, testLib)
+	res, err := RunPassK(context.Background(), p, designs.DynamicNode(), 5, testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestChatLSBeatsRawOnTraitDesign(t *testing.T) {
 	}
 	db := fullDB(t)
 	d := designs.AES()
-	raw, err := RunPassK(&RawPipeline{Model: llm.New(llm.GPT4o, 20250706)}, d, 5, testLib)
+	raw, err := RunPassK(context.Background(), &RawPipeline{Model: llm.New(llm.GPT4o, 20250706)}, d, 5, testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cls, err := RunPassK(NewChatLS(llm.New(llm.GPT4o, 20250706), db), d, 5, testLib)
+	cls, err := RunPassK(context.Background(), NewChatLS(llm.New(llm.GPT4o, 20250706), db), d, 5, testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestChatLSRecordsCoTSteps(t *testing.T) {
 		t.Skip("database build is slow")
 	}
 	p := NewChatLS(llm.New(llm.GPT4o, 20250706), fullDB(t))
-	task, _, err := NewTask(designs.TinyRocket(), testLib)
+	task, _, err := NewTask(context.Background(), designs.TinyRocket(), testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestChatLSRecordsCoTSteps(t *testing.T) {
 	// most samples because reports are re-checked and reordered.
 	sawStep := false
 	for s := 0; s < 5; s++ {
-		if _, err := p.Customize(task, s); err != nil {
+		if _, err := p.Customize(context.Background(), task, s); err != nil {
 			t.Fatal(err)
 		}
 		if len(p.LastSteps) > 0 {
@@ -147,7 +148,7 @@ func TestBetterTimingOrdering(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	rows, err := Table4(ExperimentConfig{Lib: testLib})
+	rows, err := Table4(context.Background(), ExperimentConfig{Lib: testLib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,12 +241,12 @@ func TestPipelinePromptsDiffer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	task, _, err := NewTask(designs.RiscV32i(), testLib)
+	task, _, err := NewTask(context.Background(), designs.RiscV32i(), testLib)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := NewChatLS(llm.New(llm.GPT4o, 2), db)
-	script, err := p.Customize(task, 0)
+	script, err := p.Customize(context.Background(), task, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

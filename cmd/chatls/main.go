@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,8 +61,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx := context.Background()
+
 	// Override the requirement if given.
-	task, baseQoR, err := chatls.NewTask(d, lib)
+	task, baseQoR, err := chatls.NewTask(ctx, d, lib)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -75,7 +78,7 @@ func main() {
 	bestScript := ""
 	valid := 0
 	for s := 0; s < *k; s++ {
-		script, err := p.Customize(task, s)
+		script, err := p.Customize(ctx, task, s)
 		if err != nil {
 			fmt.Printf("  sample %d: customize failed: %v\n", s, err)
 			continue

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +32,15 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	k := flag.Int("k", 0, "override Pass@k sample count")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := chatls.DefaultConfig()
 	if *seed != 0 {
@@ -56,14 +66,14 @@ func main() {
 		fmt.Println(chatls.FormatTable2(chatls.Table2(db)))
 	}
 	if wantTable(4) {
-		rows, err := chatls.Table4(cfg)
-		fatal(err)
+		rows, err := chatls.Table4(ctx, cfg)
+		warnPartial(err)
 		fmt.Println(chatls.FormatTable4(rows))
 	}
 	if wantTable(3) {
 		fmt.Fprintln(os.Stderr, "running Table III (3 pipelines x 7 designs x Pass@5)...")
-		rows, err := chatls.Table3(cfg, db)
-		fatal(err)
+		rows, err := chatls.Table3(ctx, cfg, db)
+		warnPartial(err)
 		fmt.Println(chatls.FormatTable3(rows))
 	}
 	if wantFig(5) {
@@ -74,8 +84,8 @@ func main() {
 	}
 	if *ablation || *all {
 		fmt.Fprintln(os.Stderr, "running ablations...")
-		rows, err := chatls.Ablations(cfg, db)
-		fatal(err)
+		rows, err := chatls.Ablations(ctx, cfg, db)
+		warnPartial(err)
 		fmt.Println(chatls.FormatAblations(rows))
 	}
 	if *rerank || *all {
@@ -88,8 +98,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "running iterative-resynthesis study...")
 		itCfg := cfg
 		itCfg.Designs = []*designs.Design{designs.EthMAC(), designs.TinyRocket(), designs.JPEG()}
-		rows, err := chatls.IterativeClosure(itCfg, db, 3)
-		fatal(err)
+		rows, err := chatls.IterativeClosure(ctx, itCfg, db, 3)
+		warnPartial(err)
 		fmt.Println(chatls.FormatIterations(rows))
 	}
 	if !needDB && !wantTable(4) && !wantFig(5) {
@@ -102,4 +112,20 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// warnPartial keeps going when a sweep returned partial results (per-design
+// failures) and exits only on any other error, e.g. a timeout.
+func warnPartial(err error) {
+	if err == nil {
+		return
+	}
+	var sweep chatls.SweepErrors
+	if errors.As(err, &sweep) {
+		for _, de := range sweep {
+			fmt.Fprintln(os.Stderr, "warning: design failed:", de.Error())
+		}
+		return
+	}
+	fatal(err)
 }

@@ -1,10 +1,12 @@
 package chatls
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/designs"
 	"repro/internal/liberty"
+	"repro/internal/resilience"
 	"repro/internal/synth"
 )
 
@@ -13,6 +15,10 @@ type SampleOutcome struct {
 	Script string
 	QoR    *synth.QoR
 	Err    string // non-empty when the script failed in the tool
+	// Degraded lists components that fell back during generation of this
+	// sample (empty when the pipeline ran at full strength or does not
+	// report degradation).
+	Degraded []string
 }
 
 // EvalResult is the Pass@k outcome for one (pipeline, design) cell of
@@ -46,13 +52,23 @@ func BetterTiming(a, b synth.QoR) bool {
 	return a.Area < b.Area
 }
 
+// degradationReporter is implemented by pipelines that record graceful
+// degradation (ChatLSPipeline); RunPassK copies the report into the sample.
+type degradationReporter interface {
+	Degradation() *resilience.DegradationReport
+}
+
 // RunPassK evaluates a pipeline on a design with k samples (the paper's
 // Pass@5 protocol): each sample's script runs through the synthesis tool;
 // scripts that fail (hallucinated commands, bad options) count as invalid;
 // the best valid QoR is reported. When every sample fails, the baseline QoR
 // stands (the customization attempt is wasted, not destructive).
-func RunPassK(p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalResult, error) {
-	task, baseQoR, err := NewTask(d, lib)
+//
+// Per-sample failures are contained — a failed Customize or synthesis run
+// records the error in the sample and the remaining samples still run.
+// Only context cancellation/timeout aborts the whole evaluation.
+func RunPassK(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalResult, error) {
+	task, baseQoR, err := NewTask(ctx, d, lib)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -65,20 +81,34 @@ func RunPassK(p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalR
 		BestSample: -1,
 	}
 	for s := 0; s < k; s++ {
-		script, err := p.Customize(task, s)
+		script, err := p.Customize(ctx, task, s)
 		if err != nil {
+			if resilience.IsFatal(err) {
+				return res, err
+			}
 			res.Samples = append(res.Samples, SampleOutcome{Err: fmt.Sprintf("customize: %v", err)})
 			continue
 		}
+		out := SampleOutcome{Script: script}
+		if dr, ok := p.(degradationReporter); ok {
+			if rep := dr.Degradation(); rep != nil {
+				out.Degraded = rep.Components()
+			}
+		}
 		sess := synth.NewSession(lib)
 		sess.AddSource(d.FileName, d.Source)
-		run, err := sess.Run(script)
+		run, err := sess.RunContext(ctx, script)
 		if err != nil {
-			res.Samples = append(res.Samples, SampleOutcome{Script: script, Err: err.Error()})
+			if resilience.IsFatal(err) {
+				return res, err
+			}
+			out.Err = err.Error()
+			res.Samples = append(res.Samples, out)
 			continue
 		}
 		res.Valid++
-		res.Samples = append(res.Samples, SampleOutcome{Script: script, QoR: run.QoR})
+		out.QoR = run.QoR
+		res.Samples = append(res.Samples, out)
 		if res.BestSample < 0 || BetterTiming(*run.QoR, res.Best) {
 			res.Best = *run.QoR
 			res.BestSample = s

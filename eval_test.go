@@ -1,6 +1,7 @@
 package chatls
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/designs"
@@ -10,7 +11,7 @@ import (
 type brokenPipeline struct{}
 
 func (brokenPipeline) Name() string { return "broken" }
-func (brokenPipeline) Customize(t *Task, sample int) (string, error) {
+func (brokenPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
 	return "optimize_timing -aggressive\n", nil
 }
 
@@ -18,7 +19,7 @@ func (brokenPipeline) Customize(t *Task, sample int) (string, error) {
 // reports the baseline QoR (a wasted customization attempt, not a
 // destroyed design).
 func TestRunPassKFallsBackToBaseline(t *testing.T) {
-	res, err := RunPassK(brokenPipeline{}, designs.RiscV32i(), 3, testLib)
+	res, err := RunPassK(context.Background(), brokenPipeline{}, designs.RiscV32i(), 3, testLib)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,8 @@ func main() {
 
 	// 2. Package the customization task: the baseline script runs once so
 	//    the pipeline sees the tool report, like a user pasting their log.
-	task, baseline, err := chatls.NewTask(design, lib)
+	ctx := context.Background()
+	task, baseline, err := chatls.NewTask(ctx, design, lib)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 	// 3. Customize with the full pipeline: CircuitMentor analysis ->
 	//    SynthRAG retrieval -> generation -> SynthExpert CoT refinement.
 	pipeline := chatls.NewChatLS(llm.New(llm.GPT4o, 1), db)
-	script, err := pipeline.Customize(task, 0)
+	script, err := pipeline.Customize(ctx, task, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

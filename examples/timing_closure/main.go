@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,7 +33,8 @@ func main() {
 	}
 	pipeline := chatls.NewChatLS(llm.New(llm.GPT4o, 3), db)
 
-	task, q, err := chatls.NewTask(design, lib)
+	ctx := context.Background()
+	task, q, err := chatls.NewTask(ctx, design, lib)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 		}
 		task.Baseline = script
 
-		next, err := pipeline.Customize(task, 0)
+		next, err := pipeline.Customize(ctx, task, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package chatls
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,11 +11,49 @@ import (
 	"repro/internal/designs"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
 	"repro/internal/textembed"
 	"repro/internal/vecindex"
 )
+
+// ProtocolSeed is the paper's evaluation seed (date of the protocol run).
+const ProtocolSeed = 20250706
+
+// DesignError records a design that failed during a sweep; the sweep
+// continues over the remaining designs and returns partial rows.
+type DesignError struct {
+	Design string
+	Err    error
+}
+
+func (e DesignError) Error() string { return fmt.Sprintf("%s: %v", e.Design, e.Err) }
+
+// Unwrap exposes the cause so errors.Is/As see through the design wrapper.
+func (e DesignError) Unwrap() error { return e.Err }
+
+// SweepErrors aggregates the per-design failures of one experiment sweep.
+// Callers receive it alongside the partial rows; a fatal error (context
+// cancellation or timeout) aborts the sweep instead.
+type SweepErrors []DesignError
+
+func (s SweepErrors) Error() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.Error()
+	}
+	return fmt.Sprintf("%d design(s) failed: %s", len(s), strings.Join(parts, "; "))
+}
+
+// OrNil returns the aggregate as an error, or a true nil when empty — never
+// a non-nil interface holding an empty slice.
+func (s SweepErrors) OrNil() error {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
 
 // ExperimentConfig parameterizes the paper-reproduction experiments.
 type ExperimentConfig struct {
@@ -28,10 +67,13 @@ type ExperimentConfig struct {
 
 // DefaultConfig matches the paper's protocol.
 func DefaultConfig() ExperimentConfig {
-	return ExperimentConfig{Seed: 20250706, K: 5, TrainEpochs: 40, SoCCount: 16}
+	return ExperimentConfig{Seed: ProtocolSeed, K: 5, TrainEpochs: 40, SoCCount: 16}
 }
 
 func (c *ExperimentConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = ProtocolSeed
+	}
 	if c.Lib == nil {
 		c.Lib = liberty.Nangate45()
 	}
@@ -69,18 +111,26 @@ type Table4Row struct {
 	QoR    synth.QoR
 }
 
-// Table4 runs every benchmark's adapted baseline script.
-func Table4(cfg ExperimentConfig) ([]Table4Row, error) {
+// Table4 runs every benchmark's adapted baseline script. Designs are
+// isolated: a failing design is recorded in the returned SweepErrors and the
+// sweep continues; only a fatal (context) error aborts early with the rows
+// gathered so far.
+func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	cfg.fill()
 	var rows []Table4Row
+	var errs SweepErrors
 	for _, d := range cfg.Designs {
-		_, q, err := NewTask(d, cfg.Lib)
+		_, q, err := NewTask(ctx, d, cfg.Lib)
 		if err != nil {
-			return nil, err
+			if resilience.IsFatal(err) {
+				return rows, err
+			}
+			errs = append(errs, DesignError{Design: d.Name, Err: err})
+			continue
 		}
 		rows = append(rows, Table4Row{Design: d.Name, QoR: q})
 	}
-	return rows, nil
+	return rows, errs.OrNil()
 }
 
 // FormatTable4 renders Table IV.
@@ -116,7 +166,9 @@ var Table3Models = []string{"gpt-4o-sim", "claude-3.5-sonnet-sim", "chatls"}
 
 // Table3 reproduces the paper's model comparison: each pipeline customizes
 // each baseline script once (single iteration), Pass@5, best-by-timing.
-func Table3(cfg ExperimentConfig, db *synthrag.Database) ([]Table3Row, error) {
+// A design whose evaluation fails is skipped (no row) and recorded in the
+// returned SweepErrors; fatal (context) errors abort with partial rows.
+func Table3(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([]Table3Row, error) {
 	cfg.fill()
 	if db == nil {
 		var err error
@@ -131,18 +183,27 @@ func Table3(cfg ExperimentConfig, db *synthrag.Database) ([]Table3Row, error) {
 		NewChatLS(llm.New(llm.GPT4o, cfg.Seed), db),
 	}
 	var rows []Table3Row
+	var errs SweepErrors
 	for _, d := range cfg.Designs {
 		row := Table3Row{Design: d.Name}
+		failed := false
 		for _, p := range pipelines {
-			res, err := RunPassK(p, d, cfg.K, cfg.Lib)
+			res, err := RunPassK(ctx, p, d, cfg.K, cfg.Lib)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %v", p.Name(), d.Name, err)
+				if resilience.IsFatal(err) {
+					return rows, err
+				}
+				errs = append(errs, DesignError{Design: d.Name, Err: fmt.Errorf("%s: %w", p.Name(), err)})
+				failed = true
+				break
 			}
 			row.Cells = append(row.Cells, Table3Cell{Model: p.Name(), QoR: res.Best, Valid: res.Valid})
 		}
-		rows = append(rows, row)
+		if !failed {
+			rows = append(rows, row)
+		}
 	}
-	return rows, nil
+	return rows, errs.OrNil()
 }
 
 // FormatTable3 renders Table III.
@@ -431,8 +492,10 @@ type AblationRow struct {
 var AblationVariants = []string{"chatls", "no-rag", "no-expert", "no-mentor", "raw"}
 
 // Ablations measures each framework component's contribution on the
-// trait-bound designs.
-func Ablations(cfg ExperimentConfig, db *synthrag.Database) ([]AblationRow, error) {
+// trait-bound designs. Per (variant, design) failures are recorded in the
+// returned SweepErrors and the sweep continues; fatal (context) errors
+// abort with partial rows.
+func Ablations(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([]AblationRow, error) {
 	cfg.fill()
 	if db == nil {
 		var err error
@@ -463,17 +526,22 @@ func Ablations(cfg ExperimentConfig, db *synthrag.Database) ([]AblationRow, erro
 		}
 	}
 	var rows []AblationRow
+	var errs SweepErrors
 	for _, variant := range AblationVariants {
 		p := mk(variant)
 		for _, d := range cfg.Designs {
-			res, err := RunPassK(p, d, cfg.K, cfg.Lib)
+			res, err := RunPassK(ctx, p, d, cfg.K, cfg.Lib)
 			if err != nil {
-				return nil, err
+				if resilience.IsFatal(err) {
+					return rows, err
+				}
+				errs = append(errs, DesignError{Design: variant + "/" + d.Name, Err: err})
+				continue
 			}
 			rows = append(rows, AblationRow{Variant: variant, Design: d.Name, QoR: res.Best, Valid: res.Valid})
 		}
 	}
-	return rows, nil
+	return rows, errs.OrNil()
 }
 
 // ----------------------------------------------------------------------------
@@ -492,7 +560,10 @@ type IterationRow struct {
 // iterations: each round's report and script feed the next round's prompt,
 // with the requirement switching from timing closure to area recovery once
 // timing is met — the resynthesis loop of the paper's introduction.
-func IterativeClosure(cfg ExperimentConfig, db *synthrag.Database, iters int) ([]IterationRow, error) {
+// A design whose baseline fails is skipped and recorded in the returned
+// SweepErrors; a non-fatal Customize failure wastes that iteration (the
+// previous script stands) and the loop continues.
+func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database, iters int) ([]IterationRow, error) {
 	cfg.fill()
 	if db == nil {
 		var err error
@@ -502,11 +573,16 @@ func IterativeClosure(cfg ExperimentConfig, db *synthrag.Database, iters int) ([
 		}
 	}
 	var rows []IterationRow
+	var errs SweepErrors
 	for _, d := range cfg.Designs {
 		p := NewChatLS(llm.New(llm.GPT4o, cfg.Seed), db)
-		task, q, err := NewTask(d, cfg.Lib)
+		task, q, err := NewTask(ctx, d, cfg.Lib)
 		if err != nil {
-			return nil, err
+			if resilience.IsFatal(err) {
+				return rows, err
+			}
+			errs = append(errs, DesignError{Design: d.Name, Err: err})
+			continue
 		}
 		rows = append(rows, IterationRow{Design: d.Name, Iter: 0, QoR: q, Script: task.Baseline})
 		script := task.Baseline
@@ -517,14 +593,22 @@ func IterativeClosure(cfg ExperimentConfig, db *synthrag.Database, iters int) ([
 				task.Requirement = "Timing is met. Recover area while keeping every timing constraint satisfied."
 			}
 			task.Baseline = script
-			next, err := p.Customize(task, 0)
+			next, err := p.Customize(ctx, task, 0)
 			if err != nil {
-				return nil, err
+				if resilience.IsFatal(err) {
+					return rows, err
+				}
+				// A wasted iteration: the previous script stands.
+				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
+				continue
 			}
 			sess := synth.NewSession(cfg.Lib)
 			sess.AddSource(d.FileName, d.Source)
-			res, err := sess.Run(next)
+			res, err := sess.RunContext(ctx, next)
 			if err != nil {
+				if resilience.IsFatal(err) {
+					return rows, err
+				}
 				// A failed iteration keeps the previous script (the user
 				// would not adopt a script that does not run).
 				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
@@ -546,7 +630,7 @@ func IterativeClosure(cfg ExperimentConfig, db *synthrag.Database, iters int) ([
 			rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
 		}
 	}
-	return rows, nil
+	return rows, errs.OrNil()
 }
 
 // FormatIterations renders the iteration study.

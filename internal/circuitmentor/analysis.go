@@ -1,6 +1,7 @@
 package circuitmentor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,12 +49,27 @@ const (
 // characterization using a quick timing pass — the graph-based analysis the
 // paper performs with Neo4j path queries and GNN features.
 func Analyze(src, top string, period float64, lib *liberty.Library) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), src, top, period, lib)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the context is
+// checked between the parse, elaborate, and timing phases.
+func AnalyzeContext(ctx context.Context, src, top string, period float64, lib *liberty.Library) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	file, err := verilog.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nl, err := netlist.Elaborate(file, top, nil, lib)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return AnalyzeNetlist(nl, period)

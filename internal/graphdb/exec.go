@@ -57,13 +57,34 @@ func (db *DB) Query(q string, params map[string]any) (*Result, error) {
 	return db.execMatch(ast, params)
 }
 
-// MustQuery panics on error; for tests and fixed internal queries.
+// MustQuery panics on error. It exists for tests and interactive
+// exploration ONLY: internal (serving-path) query code must use Query, or
+// QueryValue below, so a malformed query surfaces as an error a caller can
+// classify instead of a panic — any residual panic that does escape is
+// converted into a typed resilience.ErrComponentPanic at the pipeline's
+// guarded boundaries rather than crashing the process.
 func (db *DB) MustQuery(q string, params map[string]any) *Result {
 	r, err := db.Query(q, params)
 	if err != nil {
 		panic(err)
 	}
 	return r
+}
+
+// QueryValue runs a query expected to produce a single 1x1 result and
+// returns its value. It is the error-returning replacement for the
+// MustQuery(...).Value() pattern on internal query paths: a failed or
+// empty query is an error, never a panic.
+func (db *DB) QueryValue(q string, params map[string]any) (any, error) {
+	r, err := db.Query(q, params)
+	if err != nil {
+		return nil, err
+	}
+	v := r.Value()
+	if v == nil {
+		return nil, fmt.Errorf("query returned no single value (%d rows)", len(r.Rows))
+	}
+	return v, nil
 }
 
 func (db *DB) execCreate(ast *cypherQuery, params map[string]any) (*Result, error) {

@@ -24,6 +24,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -412,9 +413,25 @@ type GenRequest struct {
 // preserved (the evaluation forbids changing the clock), and its compile
 // and post-compile lines are replaced by the chosen strategy.
 func (m *Model) Generate(req GenRequest) string {
+	out, _ := m.GenerateContext(context.Background(), req)
+	return out
+}
+
+// GenerateContext is Generate with cooperative cancellation: the context is
+// checked between the CPU-bound generation phases (prompt reading, evidence
+// extraction, strategy choice) so a cancelled or timed-out request stops
+// early instead of completing the sample. The only possible error is the
+// context's.
+func (m *Model) GenerateContext(ctx context.Context, req GenRequest) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	secs := Sections(truncateTokens(req.Prompt, m.Profile.ContextWindow))
 	rng := m.rng(req.Prompt, req.Sample)
 	ev := m.readEvidence(secs)
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	plan := append([]string(nil), m.pickStrategy(secs, ev, rng)...)
 
 	// Hallucination: insert an invalid command or corrupt an option.
@@ -427,7 +444,7 @@ func (m *Model) Generate(req GenRequest) string {
 		plan[idx] = corruptOption(plan[idx], rng)
 	}
 
-	return SpliceScript(secs["Baseline script"], plan)
+	return SpliceScript(secs["Baseline script"], plan), nil
 }
 
 // SpliceScript rebuilds a script around a new optimization plan: setup and

@@ -1,0 +1,290 @@
+// Package resilience is the fault-tolerant execution substrate of the
+// ChatLS serving path. Every component call the pipeline makes —
+// CircuitMentor analysis, SynthRAG retrieval, LLM generation, SynthExpert
+// refinement, synthesis-tool execution — runs behind a guarded boundary
+// that provides:
+//
+//   - a typed error taxonomy (ErrTimeout, ErrCancelled, ErrBudgetExceeded,
+//     ErrComponentPanic, ErrRetryExhausted) so callers can distinguish
+//     "give up on this request" from "degrade and continue";
+//   - panic recovery, converting panics anywhere below the boundary into
+//     ErrComponentPanic instead of crashing the process;
+//   - retry with deterministic, seed-driven jittered backoff — no
+//     wall-clock randomness, so every experiment and test is reproducible;
+//   - seeded fault injection (fail / panic / hang the Nth call to a named
+//     component) for the fault-injection test suite.
+//
+// The package is a leaf: it imports nothing from the rest of the repo, so
+// every layer (synth, llm, synthrag, the pipeline facade) can depend on it.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Component names used at the pipeline's guarded boundaries.
+const (
+	CompMentor      = "circuitmentor"
+	CompRAGEmbed    = "synthrag/embed"
+	CompRAGRetrieve = "synthrag/retrieve"
+	CompGenerate    = "llm/generate"
+	CompExpert      = "synthexpert"
+	CompSynth       = "synth"
+)
+
+// The error taxonomy. Every guarded failure wraps exactly one of these
+// sentinels (plus the underlying cause), so callers classify with errors.Is.
+var (
+	// ErrTimeout: the context deadline expired inside a component call.
+	ErrTimeout = errors.New("resilience: timeout")
+	// ErrCancelled: the context was cancelled inside a component call.
+	ErrCancelled = errors.New("resilience: cancelled")
+	// ErrBudgetExceeded: a step/command budget ran out (e.g. a script tried
+	// to execute more commands than Session.MaxCommands allows).
+	ErrBudgetExceeded = errors.New("resilience: budget exceeded")
+	// ErrComponentPanic: a component panicked and the boundary recovered it.
+	ErrComponentPanic = errors.New("resilience: component panic")
+	// ErrRetryExhausted: a component kept failing after every retry attempt.
+	ErrRetryExhausted = errors.New("resilience: retries exhausted")
+)
+
+// Error is a classified failure from a guarded component call.
+type Error struct {
+	Component string
+	Kind      error // one of the taxonomy sentinels
+	Attempts  int   // attempts made before giving up (0 = not applicable)
+	Cause     error // underlying failure (last attempt's error, recovered panic, ctx error)
+	Stack     []byte
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %v", e.Component, e.Kind)
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " after %d attempts", e.Attempts)
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, ": %v", e.Cause)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the taxonomy sentinel and the cause to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	var out []error
+	if e.Kind != nil {
+		out = append(out, e.Kind)
+	}
+	if e.Cause != nil {
+		out = append(out, e.Cause)
+	}
+	return out
+}
+
+// IsFatal reports whether the error means the whole request should abort
+// (cancellation or deadline) rather than degrade to a weaker configuration.
+func IsFatal(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCancelled)
+}
+
+// ctxKind maps a context error onto its taxonomy sentinel.
+func ctxKind(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return ErrCancelled
+}
+
+// ContextError classifies a context error for a component. Use at points
+// that observe ctx.Err() directly (e.g. the synthesis command-exec loop).
+func ContextError(component string, err error) *Error {
+	return &Error{Component: component, Kind: ctxKind(err), Cause: err}
+}
+
+// RetryPolicy controls retry-with-backoff around a component call. The
+// jitter is derived from Seed and the attempt number only, never from the
+// wall clock, so a given policy always produces the same delay sequence.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts (0 or less = 1, no retry)
+	BaseDelay   time.Duration // first backoff; doubles per attempt (0 = no sleep)
+	MaxDelay    time.Duration // backoff cap (0 = uncapped)
+	Seed        int64         // jitter seed
+}
+
+// DefaultRetryPolicy is the serving-path default: three attempts with a few
+// milliseconds of jittered backoff.
+func DefaultRetryPolicy(seed int64) RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: seed}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	return p
+}
+
+// Backoff returns the deterministic jittered delay after the attempt-th
+// failure (1-based): exponential growth capped at MaxDelay, scaled by a
+// seed-derived factor in [0.5, 1.0).
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && (p.MaxDelay <= 0 || d < p.MaxDelay); i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d", p.Seed, attempt)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+}
+
+// sleep waits for d, returning early with the context error if cancelled.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Op names one guarded component call.
+type Op struct {
+	Component string
+	Policy    RetryPolicy
+	Injector  *Injector // nil outside the fault-injection suite
+}
+
+// Execute runs fn behind the full boundary: fault injection, panic
+// recovery, retry with deterministic backoff, and context classification.
+// The returned error (if any) is always a *Error from the taxonomy:
+//
+//   - context cancellation/deadline  -> ErrCancelled / ErrTimeout (fatal,
+//     never retried);
+//   - a panic in fn                  -> ErrComponentPanic (retried);
+//   - persistent failure             -> ErrRetryExhausted wrapping the last
+//     attempt's error.
+func Execute(ctx context.Context, op Op, fn func(context.Context) error) error {
+	pol := op.Policy.withDefaults()
+	var last error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return &Error{Component: op.Component, Kind: ctxKind(err), Attempts: attempt - 1, Cause: err}
+		}
+		err := guarded(ctx, op, fn)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, ErrTimeout) || errors.Is(err, ErrCancelled) {
+			return &Error{Component: op.Component, Kind: ctxKind(err), Attempts: attempt, Cause: err}
+		}
+		last = err
+		if attempt < pol.MaxAttempts {
+			if serr := sleep(ctx, pol.Backoff(attempt)); serr != nil {
+				return &Error{Component: op.Component, Kind: ctxKind(serr), Attempts: attempt, Cause: serr}
+			}
+		}
+	}
+	return &Error{Component: op.Component, Kind: ErrRetryExhausted, Attempts: pol.MaxAttempts, Cause: last}
+}
+
+// guarded runs one attempt: injector first (so injected panics and hangs
+// exercise the same recovery as real ones), then fn, with panics converted
+// into typed errors.
+func guarded(ctx context.Context, op Op, fn func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{
+				Component: op.Component,
+				Kind:      ErrComponentPanic,
+				Cause:     fmt.Errorf("panic: %v", r),
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	if ferr := op.Injector.Fire(ctx, op.Component); ferr != nil {
+		return ferr
+	}
+	return fn(ctx)
+}
+
+// Degradation is one recorded fallback: a component failed after retries
+// and the pipeline continued in a weaker configuration instead of erroring.
+type Degradation struct {
+	Component string
+	Fallback  string // what the pipeline did instead
+	Err       error  // the classified failure that triggered the fallback
+}
+
+// DegradationReport collects what degraded during one pipeline call. It is
+// attached to the customization result so callers (and the experiment
+// harness) can tell a full-strength answer from a degraded one.
+type DegradationReport struct {
+	Events []Degradation
+}
+
+// Record appends one degradation event.
+func (r *DegradationReport) Record(component, fallback string, err error) {
+	r.Events = append(r.Events, Degradation{Component: component, Fallback: fallback, Err: err})
+}
+
+// Degraded reports whether anything degraded.
+func (r *DegradationReport) Degraded() bool { return r != nil && len(r.Events) > 0 }
+
+// Of returns the event for a component, or nil.
+func (r *DegradationReport) Of(component string) *Degradation {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Events {
+		if r.Events[i].Component == component {
+			return &r.Events[i]
+		}
+	}
+	return nil
+}
+
+// Components lists the degraded component names in order.
+func (r *DegradationReport) Components() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.Events))
+	for i, ev := range r.Events {
+		out[i] = ev.Component
+	}
+	return out
+}
+
+func (r *DegradationReport) String() string {
+	if !r.Degraded() {
+		return "no degradation"
+	}
+	var b strings.Builder
+	for i, ev := range r.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s degraded (%s): %v", ev.Component, ev.Fallback, ev.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 42}
+	q := p
+	for attempt := 1; attempt <= 5; attempt++ {
+		a, b := p.Backoff(attempt), q.Backoff(attempt)
+		if a != b {
+			t.Errorf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < time.Millisecond || a > 20*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v outside [base/2, max]", attempt, a)
+		}
+	}
+	// Exponential growth up to the cap (jitter is within [0.5, 1.0) of the
+	// raw delay, so the raw delay doubles: 2, 4, 8, 16, 20-capped).
+	if p.Backoff(4) <= p.Backoff(1) {
+		t.Errorf("backoff should grow: %v then %v", p.Backoff(1), p.Backoff(4))
+	}
+	other := RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 43}
+	same := true
+	for attempt := 1; attempt <= 5; attempt++ {
+		if p.Backoff(attempt) != other.Backoff(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should jitter differently")
+	}
+}
+
+func TestZeroBaseDelayNoSleep(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3}
+	if d := p.Backoff(2); d != 0 {
+		t.Errorf("zero base delay must not sleep, got %v", d)
+	}
+}
+
+func TestExecuteRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	err := Execute(context.Background(), Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 3}}, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("should succeed on 3rd attempt: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestExecuteRetryExhausted(t *testing.T) {
+	boom := errors.New("boom")
+	err := Execute(context.Background(), Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 2}}, func(ctx context.Context) error {
+		return boom
+	})
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("want ErrRetryExhausted, got %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("cause must be preserved through the wrap")
+	}
+	var re *Error
+	if !errors.As(err, &re) || re.Attempts != 2 || re.Component != "c" {
+		t.Errorf("classified error wrong: %+v", re)
+	}
+	if IsFatal(err) {
+		t.Error("retry exhaustion is degradable, not fatal")
+	}
+}
+
+func TestExecutePanicConverted(t *testing.T) {
+	err := Execute(context.Background(), Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 1}}, func(ctx context.Context) error {
+		panic("kaboom")
+	})
+	if !errors.Is(err, ErrComponentPanic) {
+		t.Fatalf("want ErrComponentPanic, got %v", err)
+	}
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatal("not a *Error")
+	}
+	// The panic is one attempt; a single-attempt policy reports it as
+	// exhausted retries wrapping the panic.
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Error("exhaustion wrap missing")
+	}
+}
+
+func TestExecutePanicStackCaptured(t *testing.T) {
+	err := Execute(context.Background(), Op{Component: "c"}, func(ctx context.Context) error {
+		panic("kaboom")
+	})
+	var re *Error
+	for e := err; errors.As(e, &re); {
+		if errors.Is(re.Kind, ErrComponentPanic) {
+			break
+		}
+		e = re.Cause
+		re = nil
+	}
+	if re == nil || len(re.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+}
+
+func TestExecutePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Execute(ctx, Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 3}}, func(ctx context.Context) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if calls != 0 {
+		t.Error("fn must not run under a cancelled context")
+	}
+	if !IsFatal(err) {
+		t.Error("cancellation is fatal")
+	}
+}
+
+func TestExecuteTimeoutDuringHang(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	inj := NewInjector(Fault{Component: "c", Mode: ModeHang})
+	start := time.Now()
+	err := Execute(ctx, Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 3}, Injector: inj}, func(ctx context.Context) error {
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("hang not bounded by deadline: %v", elapsed)
+	}
+	if !IsFatal(err) {
+		t.Error("timeout is fatal")
+	}
+}
+
+func TestExecuteCtxErrorNotRetried(t *testing.T) {
+	calls := 0
+	err := Execute(context.Background(), Op{Component: "c", Policy: RetryPolicy{MaxAttempts: 3}}, func(ctx context.Context) error {
+		calls++
+		return context.DeadlineExceeded
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("ctx errors must not be retried, calls = %d", calls)
+	}
+}
+
+func TestInjectorNthCall(t *testing.T) {
+	inj := NewInjector(Fault{Component: "c", Mode: ModeFail, Calls: []int{2}})
+	ctx := context.Background()
+	if err := inj.Fire(ctx, "c"); err != nil {
+		t.Errorf("call 1 should pass: %v", err)
+	}
+	if err := inj.Fire(ctx, "c"); !errors.Is(err, ErrInjected) {
+		t.Errorf("call 2 should fault: %v", err)
+	}
+	if err := inj.Fire(ctx, "c"); err != nil {
+		t.Errorf("call 3 should pass: %v", err)
+	}
+	if err := inj.Fire(ctx, "other"); err != nil {
+		t.Errorf("other components untouched: %v", err)
+	}
+	if inj.Calls("c") != 3 {
+		t.Errorf("calls = %d, want 3", inj.Calls("c"))
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fire(context.Background(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Calls("c") != 0 {
+		t.Error("nil injector should count nothing")
+	}
+}
+
+func TestContextErrorClassification(t *testing.T) {
+	e := ContextError(CompSynth, context.DeadlineExceeded)
+	if !errors.Is(e, ErrTimeout) || errors.Is(e, ErrCancelled) {
+		t.Errorf("deadline -> ErrTimeout, got %v", e)
+	}
+	e = ContextError(CompSynth, context.Canceled)
+	if !errors.Is(e, ErrCancelled) {
+		t.Errorf("cancel -> ErrCancelled, got %v", e)
+	}
+}
+
+func TestDegradationReport(t *testing.T) {
+	var r DegradationReport
+	if r.Degraded() {
+		t.Error("empty report is not degraded")
+	}
+	r.Record(CompMentor, "proceed without design characteristics", errors.New("x"))
+	r.Record(CompExpert, "emit unrefined draft", errors.New("y"))
+	if !r.Degraded() {
+		t.Error("report with events is degraded")
+	}
+	if r.Of(CompMentor) == nil || r.Of(CompRAGEmbed) != nil {
+		t.Error("Of lookup wrong")
+	}
+	comps := r.Components()
+	if len(comps) != 2 || comps[0] != CompMentor || comps[1] != CompExpert {
+		t.Errorf("components = %v", comps)
+	}
+	var nilRep *DegradationReport
+	if nilRep.Degraded() || nilRep.Of("x") != nil || nilRep.Components() != nil {
+		t.Error("nil report must be inert")
+	}
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,8 +9,14 @@ import (
 	"repro/internal/liberty"
 	"repro/internal/netlist"
 	"repro/internal/power"
+	"repro/internal/resilience"
 	"repro/internal/verilog"
 )
+
+// DefaultMaxCommands bounds script execution when Session.MaxCommands is
+// zero: far above any legitimate synthesis script (~10 commands), low
+// enough that a hostile or hallucinated script cannot run unbounded.
+const DefaultMaxCommands = 512
 
 // Session executes synthesis scripts against an in-memory source filesystem,
 // standing in for dc_shell. Sources maps file names (as used by
@@ -19,6 +26,10 @@ type Session struct {
 	Sources map[string]string
 	// ParamOverrides apply at elaboration (top-level parameters).
 	ParamOverrides map[string]int64
+	// MaxCommands caps the commands one Run may execute (0 = the
+	// DefaultMaxCommands budget, negative = unlimited). Exceeding it aborts
+	// the run with resilience.ErrBudgetExceeded.
+	MaxCommands int
 }
 
 // NewSession creates a session over the given library.
@@ -42,13 +53,31 @@ type Result struct {
 // way a dc_shell batch run aborts on an invalid command — this is what makes
 // hallucinated commands costly for the baseline pipelines.
 func (s *Session) Run(script string) (*Result, error) {
+	return s.RunContext(context.Background(), script)
+}
+
+// RunContext is Run with cooperative cancellation and a command budget: the
+// context is checked before every command, and execution aborts with
+// resilience.ErrBudgetExceeded once MaxCommands commands have run.
+func (s *Session) RunContext(ctx context.Context, script string) (*Result, error) {
 	cmds, err := ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
+	budget := s.MaxCommands
+	if budget == 0 {
+		budget = DefaultMaxCommands
+	}
 	res := &Result{}
 	st := &execState{sess: s, res: res}
-	for _, c := range cmds {
+	for i, c := range cmds {
+		if err := ctx.Err(); err != nil {
+			return nil, resilience.ContextError(resilience.CompSynth, err)
+		}
+		if budget > 0 && i >= budget {
+			return nil, fmt.Errorf("line %d: %s: %w (budget %d commands)",
+				c.Line, c.Name, resilience.ErrBudgetExceeded, budget)
+		}
 		if err := st.exec(c); err != nil {
 			return nil, fmt.Errorf("line %d: %s: %v", c.Line, c.Name, err)
 		}

@@ -8,6 +8,7 @@
 package synthexpert
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -43,6 +44,15 @@ func New(model *llm.Model, db *synthrag.Database) *Expert {
 // changing the clock). It returns the revised script and the reasoning
 // steps taken.
 func (e *Expert) Refine(draft, baseline string) (string, []Step) {
+	out, steps, _ := e.RefineContext(context.Background(), draft, baseline)
+	return out, steps
+}
+
+// RefineContext is Refine with cooperative cancellation: every reasoning
+// step issues a retrieval query, so the context is checked once per revised
+// line and between the revision phases. On cancellation it returns the
+// steps taken so far along with the context's error.
+func (e *Expert) RefineContext(ctx context.Context, draft, baseline string) (string, []Step, error) {
 	var steps []Step
 	lines := scriptLines(draft)
 
@@ -98,6 +108,9 @@ func (e *Expert) Refine(draft, baseline string) (string, []Step) {
 	// hallucinated commands and incompatible options via retrieval.
 	revised := make([]string, 0, len(lines))
 	for _, line := range lines {
+		if err := ctx.Err(); err != nil {
+			return "", steps, err
+		}
 		newLine, step := e.reviseLine(line)
 		if step != nil {
 			steps = append(steps, *step)
@@ -107,6 +120,9 @@ func (e *Expert) Refine(draft, baseline string) (string, []Step) {
 		}
 	}
 	lines = revised
+	if err := ctx.Err(); err != nil {
+		return "", steps, err
+	}
 
 	// Deduplicate: revision can map a hallucinated line onto a command the
 	// script already contains, and single-instance constraints must not
@@ -128,7 +144,7 @@ func (e *Expert) Refine(draft, baseline string) (string, []Step) {
 		})
 	}
 
-	return strings.Join(lines, "\n") + "\n", steps
+	return strings.Join(lines, "\n") + "\n", steps, nil
 }
 
 func scriptLines(s string) []string {

@@ -18,6 +18,7 @@
 package synthrag
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -304,14 +305,17 @@ func (db *Database) RetrieveStrategies(query []float64, k int, alpha, beta float
 	return db.RetrieveStrategiesFor(query, nil, k, alpha, beta, 0)
 }
 
-// RetrieveStrategiesFor adds the query design's structural traits to the
-// Eq. 5 rerank: Score = alpha*sim + beta*quality + gamma*traitOverlap.
-// Trait compatibility is the "additional characteristics" the paper's
-// domain-specific reranking function uses to reorder embeddings whose raw
-// similarities barely differ (an ALU and a systolic array are both
-// arithmetic, but need different strategies).
-func (db *Database) RetrieveStrategiesFor(query []float64, queryTraits []string, k int, alpha, beta, gamma float64) []StrategyHit {
+// RetrieveStrategiesForContext is RetrieveStrategiesFor with cooperative
+// cancellation: the context is checked before the nearest-neighbour search
+// and before the rerank, so a cancelled retrieval returns promptly.
+func (db *Database) RetrieveStrategiesForContext(ctx context.Context, query []float64, queryTraits []string, k int, alpha, beta, gamma float64) ([]StrategyHit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	raw := db.globalIndex.Search(query, max(k*4, k))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hits := make([]StrategyHit, 0, len(raw))
 	for _, h := range raw {
 		rec := db.Strategies[h.ID]
@@ -328,6 +332,17 @@ func (db *Database) RetrieveStrategiesFor(query []float64, queryTraits []string,
 	if k < len(hits) {
 		hits = hits[:k]
 	}
+	return hits, nil
+}
+
+// RetrieveStrategiesFor adds the query design's structural traits to the
+// Eq. 5 rerank: Score = alpha*sim + beta*quality + gamma*traitOverlap.
+// Trait compatibility is the "additional characteristics" the paper's
+// domain-specific reranking function uses to reorder embeddings whose raw
+// similarities barely differ (an ALU and a systolic array are both
+// arithmetic, but need different strategies).
+func (db *Database) RetrieveStrategiesFor(query []float64, queryTraits []string, k int, alpha, beta, gamma float64) []StrategyHit {
+	hits, _ := db.RetrieveStrategiesForContext(context.Background(), query, queryTraits, k, alpha, beta, gamma)
 	return hits
 }
 
@@ -372,13 +387,13 @@ func (db *Database) RetrieveModules(query []float64, k int) []ModuleHit {
 // ModuleCode fetches a module's source from the graph database with the
 // direct Cypher query of TABLE I.
 func (db *Database) ModuleCode(design, module string) (string, error) {
-	res, err := db.Graph.Query(
+	v, err := db.Graph.QueryValue(
 		`MATCH (m:Module {name: $mod, design: $design}) RETURN m.code`,
 		map[string]any{"mod": module, "design": design})
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("module %s/%s not in database: %v", design, module, err)
 	}
-	code, _ := res.Value().(string)
+	code, _ := v.(string)
 	if code == "" {
 		return "", fmt.Errorf("module %s/%s not in database", design, module)
 	}
@@ -413,7 +428,20 @@ type ManualDoc struct {
 // candidates with the LLM (the GPT-4o-as-reranker step). A nil model skips
 // reranking.
 func (db *Database) SearchManual(query string, k int, reranker *llm.Model) []ManualDoc {
+	docs, _ := db.SearchManualContext(context.Background(), query, k, reranker)
+	return docs
+}
+
+// SearchManualContext is SearchManual with cooperative cancellation: the
+// context is checked before the embedding search and before the rerank.
+func (db *Database) SearchManualContext(ctx context.Context, query string, k int, reranker *llm.Model) ([]ManualDoc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	raw := db.manualIndex.Search(db.Embedder.Embed(query), max(k*3, k))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]ManualDoc, 0, len(raw))
 	for _, h := range raw {
 		doc := db.Manual.Docs[db.manualByID[h.ID]]
@@ -427,7 +455,7 @@ func (db *Database) SearchManual(query string, k int, reranker *llm.Model) []Man
 	if k < len(out) {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 // RenderStrategies formats retrieval hits as the "Retrieved strategies"
@@ -450,8 +478,20 @@ func RenderStrategies(hits []StrategyHit) string {
 // EmbedDesign analyzes query RTL into its global embedding, for callers
 // that have only source text.
 func (db *Database) EmbedDesign(src, top string) ([]float64, *circuitmentor.DesignGraph, error) {
+	return db.EmbedDesignContext(context.Background(), src, top)
+}
+
+// EmbedDesignContext is EmbedDesign with cooperative cancellation: the
+// context is checked between the graph-build and GNN-embed phases.
+func (db *Database) EmbedDesignContext(ctx context.Context, src, top string) ([]float64, *circuitmentor.DesignGraph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	dg, err := circuitmentor.BuildGraph(src, top)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	return db.Mentor.EmbedGlobal(dg), dg, nil
