@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci
+.PHONY: build test short race vet ci serve bench
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Run the serving daemon (builds the SynthRAG database first, ~a minute).
+serve:
+	$(GO) run ./cmd/chatlsd -addr :8080
+
+# Micro-benchmarks: substrate and serving-path cache costs. Override BENCH
+# to regenerate the paper tables instead (e.g. make bench BENCH=Table3).
+BENCH ?= Elaborate|Compile|Customize|Embed
+bench:
+	$(GO) test -bench='$(BENCH)' -benchmem -run=^$$ .
 
 ci: build vet race

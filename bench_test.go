@@ -213,6 +213,39 @@ func BenchmarkCustomizeChatLS(b *testing.B) {
 	}
 }
 
+// BenchmarkEmbedDesignUncached and BenchmarkEmbedDesignCached quantify what
+// the serving layer's embedding cache saves per request: the uncached path
+// re-parses the RTL and runs the GNN forward pass every time, the cached
+// path answers warm repeats from the LRU.
+func BenchmarkEmbedDesignUncached(b *testing.B) {
+	db, err := synthrag.Build(synthrag.BuildConfig{Seed: 2, SkipSynth: true, Lib: liberty.Nangate45()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := designs.RiscV32i()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.EmbedDesign(d.Source, d.Top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmbedDesignCached(b *testing.B) {
+	db, err := synthrag.Build(synthrag.BuildConfig{Seed: 2, SkipSynth: true, Lib: liberty.Nangate45()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.EnableCache(8, 8)
+	d := designs.RiscV32i()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.EmbedDesign(d.Source, d.Top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIterativeClosure regenerates the iterative-resynthesis study:
 // ChatLS applied for three rounds on the designs whose closure needs (or
 // resists) iteration.

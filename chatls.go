@@ -83,6 +83,30 @@ type Pipeline interface {
 	Customize(ctx context.Context, t *Task, sample int) (string, error)
 }
 
+// Customization is the full result of one pipeline call: the script plus the
+// per-call reporting that used to live as mutable state on the pipeline
+// struct. Returning it makes a pipeline instance safe to share across
+// goroutines (the serving path and parallel Pass@k need exactly that).
+type Customization struct {
+	Script string
+	// Steps are SynthExpert's chain-of-thought steps (nil for pipelines
+	// without CoT refinement, or when refinement was skipped or degraded).
+	Steps []synthexpert.Step
+	// Degradation reports which components fell back during this call; never
+	// nil for ChatLSPipeline (empty report = full strength), nil for
+	// pipelines that do not degrade.
+	Degradation *resilience.DegradationReport
+}
+
+// ResultPipeline is a Pipeline whose per-call results are returned rather
+// than stored on the struct. Implementations must be safe for concurrent
+// CustomizeResult calls; the evaluation harness and the server prefer this
+// interface when available.
+type ResultPipeline interface {
+	Pipeline
+	CustomizeResult(ctx context.Context, t *Task, sample int) (Customization, error)
+}
+
 // RawPipeline is the baseline comparison: the generator sees the
 // requirement, the baseline script, the tool report, and the raw RTL —
 // exactly the single-shot prompting the paper compares against.
@@ -92,6 +116,13 @@ type RawPipeline struct {
 
 // Name identifies the pipeline by its model profile.
 func (p *RawPipeline) Name() string { return p.Model.Profile.Name }
+
+// CustomizeResult performs one-shot prompting with the raw design text.
+// RawPipeline is stateless, so concurrent calls are safe.
+func (p *RawPipeline) CustomizeResult(ctx context.Context, t *Task, sample int) (Customization, error) {
+	script, err := p.Customize(ctx, t, sample)
+	return Customization{Script: script}, err
+}
 
 // Customize performs one-shot prompting with the raw design text.
 func (p *RawPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
@@ -125,6 +156,10 @@ type ChatLSPipeline struct {
 	DisableRAG    bool // no retrieved strategies
 	DisableExpert bool // no CoT refinement
 	// LastSteps records the CoT steps of the most recent Customize call.
+	//
+	// Deprecated: per-call state on a shared struct is unsafe for concurrent
+	// use; call CustomizeResult and read Customization.Steps instead.
+	// Only Customize updates this field.
 	LastSteps []synthexpert.Step
 	// Retry governs how component failures are retried before the pipeline
 	// degrades. Zero value means no retries (single attempt).
@@ -134,6 +169,10 @@ type ChatLSPipeline struct {
 	Inject *resilience.Injector
 	// LastReport records which components degraded during the most recent
 	// Customize call; nil before the first call.
+	//
+	// Deprecated: per-call state on a shared struct is unsafe for concurrent
+	// use; call CustomizeResult and read Customization.Degradation instead.
+	// Only Customize updates this field.
 	LastReport *resilience.DegradationReport
 }
 
@@ -176,6 +215,9 @@ func (p *ChatLSPipeline) guard(ctx context.Context, component string, fn func(co
 
 // Degradation reports which components degraded during the most recent
 // Customize call; nil before the first call, empty report when none did.
+//
+// Deprecated: like LastReport this reads per-call state off the shared
+// struct; use CustomizeResult's Customization.Degradation instead.
 func (p *ChatLSPipeline) Degradation() *resilience.DegradationReport { return p.LastReport }
 
 func hasErrors(issues []synth.Issue) bool {
@@ -187,19 +229,37 @@ func hasErrors(issues []synth.Issue) bool {
 	return false
 }
 
-// Customize runs the full ChatLS flow of Fig. 2 for one sample.
+// Customize runs the full ChatLS flow of Fig. 2 for one sample. It is a
+// thin wrapper over CustomizeResult that additionally stores the per-call
+// results in the deprecated LastSteps/LastReport fields, so existing call
+// sites keep working. Concurrent callers must use CustomizeResult instead.
+func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
+	res, err := p.CustomizeResult(ctx, t, sample)
+	p.LastSteps = res.Steps
+	p.LastReport = res.Degradation
+	return res.Script, err
+}
+
+// CustomizeResult runs the full ChatLS flow of Fig. 2 for one sample,
+// returning the script together with the CoT steps and the degradation
+// report for this call.
 //
 // The flow is fault-tolerant: each auxiliary component (CircuitMentor,
 // SynthRAG embedding and retrieval, SynthExpert) runs under retry with
 // backoff and a panic-recovery boundary; if it still fails, the pipeline
 // degrades to the next-weaker configuration — proceeding without that
-// component's contribution — and records the event in LastReport. Only a
-// generator failure or a context cancellation/timeout aborts with an error,
-// so a degraded call always yields a runnable script (a wasted attempt in
-// the Pass@k sense, never a crash).
-func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (string, error) {
+// component's contribution — and records the event in the returned
+// Customization.Degradation. Only a generator failure or a context
+// cancellation/timeout aborts with an error, so a degraded call always
+// yields a runnable script (a wasted attempt in the Pass@k sense, never a
+// crash).
+//
+// CustomizeResult mutates no pipeline state: a single instance over a built
+// database is safe for concurrent calls (the database, model, and expert
+// are all read-only at serving time).
+func (p *ChatLSPipeline) CustomizeResult(ctx context.Context, t *Task, sample int) (Customization, error) {
 	report := &resilience.DegradationReport{}
-	p.LastReport = report
+	out := Customization{Degradation: report}
 
 	var b strings.Builder
 	b.WriteString("## Requirement\n")
@@ -220,7 +280,7 @@ func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (st
 			b.WriteString("\n## Design characteristics\n")
 			b.WriteString(analysis.Render())
 		case resilience.IsFatal(err):
-			return "", err
+			return out, err
 		default:
 			report.Record(resilience.CompMentor, "proceed without design characteristics", err)
 		}
@@ -245,12 +305,12 @@ func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (st
 				b.WriteString("\n## Retrieved strategies\n")
 				b.WriteString(synthrag.RenderStrategies(hits))
 			case resilience.IsFatal(err):
-				return "", err
+				return out, err
 			default:
 				report.Record(resilience.CompRAGRetrieve, "proceed without retrieved strategies", err)
 			}
 		} else if resilience.IsFatal(err) {
-			return "", err
+			return out, err
 		} else {
 			report.Record(resilience.CompRAGEmbed, "proceed without retrieved strategies", err)
 		}
@@ -270,12 +330,12 @@ func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (st
 	if err != nil {
 		// The generator is the one component with no weaker fallback: without
 		// a draft there is nothing to refine or emit.
-		return "", err
+		return out, err
 	}
 
 	if p.DisableExpert {
-		p.LastSteps = nil
-		return draft, nil
+		out.Script = draft
+		return out, nil
 	}
 
 	var refined string
@@ -287,16 +347,18 @@ func (p *ChatLSPipeline) Customize(ctx context.Context, t *Task, sample int) (st
 	})
 	switch {
 	case err == nil:
-		p.LastSteps = steps
-		return refined, nil
+		out.Script = refined
+		out.Steps = steps
+		return out, nil
 	case resilience.IsFatal(err):
-		return "", err
+		return out, err
 	}
-	p.LastSteps = nil
 	if !hasErrors(synth.ValidateScript(draft)) {
 		report.Record(resilience.CompExpert, "emit unrefined draft", err)
-		return draft, nil
+		out.Script = draft
+		return out, nil
 	}
 	report.Record(resilience.CompExpert, "draft invalid without refinement; return baseline script", err)
-	return t.Baseline, nil
+	out.Script = t.Baseline
+	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/liberty"
 	"repro/internal/llm"
 	"repro/internal/synth"
+	"repro/internal/synthexpert"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 20250706, "generation seed")
 	showScript := flag.Bool("show-script", false, "print the best customized script")
 	showSteps := flag.Bool("show-steps", false, "print SynthExpert's chain-of-thought steps")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget, baseline run included (0 = unlimited)")
 	flag.Parse()
 
 	d := designs.ByName(*designName)
@@ -41,7 +43,6 @@ func main() {
 	lib := liberty.Nangate45()
 
 	var p chatls.Pipeline
-	var cls *chatls.ChatLSPipeline
 	switch *pipeline {
 	case "gpt4o":
 		p = &chatls.RawPipeline{Model: llm.New(llm.GPT4o, *seed)}
@@ -54,14 +55,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		cls = chatls.NewChatLS(llm.New(llm.GPT4o, *seed), db)
-		p = cls
+		p = chatls.NewChatLS(llm.New(llm.GPT4o, *seed), db)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown pipeline %q\n", *pipeline)
 		os.Exit(1)
 	}
 
 	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Override the requirement if given.
 	task, baseQoR, err := chatls.NewTask(ctx, d, lib)
@@ -77,8 +82,18 @@ func main() {
 	best := baseQoR
 	bestScript := ""
 	valid := 0
+	rp, _ := p.(chatls.ResultPipeline)
 	for s := 0; s < *k; s++ {
-		script, err := p.Customize(ctx, task, s)
+		var script string
+		var steps []synthexpert.Step
+		var err error
+		if rp != nil {
+			var cres chatls.Customization
+			cres, err = rp.CustomizeResult(ctx, task, s)
+			script, steps = cres.Script, cres.Steps
+		} else {
+			script, err = p.Customize(ctx, task, s)
+		}
 		if err != nil {
 			fmt.Printf("  sample %d: customize failed: %v\n", s, err)
 			continue
@@ -100,9 +115,9 @@ func main() {
 		}
 		fmt.Printf("  sample %d: WNS %.3f CPS %.3f TNS %.2f area %.1f%s\n",
 			s, q.WNS, q.CPS, q.TNS, q.Area, marker)
-		if *showSteps && cls != nil && len(cls.LastSteps) > 0 && s == 0 {
+		if *showSteps && len(steps) > 0 && s == 0 {
 			fmt.Println("  chain-of-thought steps:")
-			for i, st := range cls.LastSteps {
+			for i, st := range steps {
 				fmt.Printf("    T%d: %s\n", i+1, st.Thought)
 				if st.Before != "" {
 					fmt.Printf("        %q -> %q  (via %s)\n", st.Before, st.After, st.Retrieved)

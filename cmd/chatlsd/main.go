@@ -1,0 +1,94 @@
+// Command chatlsd serves the ChatLS pipeline over HTTP: build the SynthRAG
+// database once, then answer script-customization requests concurrently
+// with caching, admission control, and metrics.
+//
+//	chatlsd -addr :8080
+//	curl -s localhost:8080/v1/designs
+//	curl -s -X POST localhost:8080/v1/customize \
+//	    -d '{"design":"riscv32i","k":2}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new requests are refused
+// while in-flight and queued work drains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	chatls "repro"
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 20250706, "generation seed")
+	epochs := flag.Int("epochs", 40, "metric-learning epochs for the database build")
+	workers := flag.Int("workers", 2, "worker-pool size")
+	queue := flag.Int("queue", 8, "admission-control queue depth")
+	reqTimeout := flag.Duration("req-timeout", 60*time.Second, "per-request deadline")
+	taskCache := flag.Int("task-cache", 16, "baseline-task cache entries")
+	embedCache := flag.Int("embed-cache", 64, "design-embedding cache entries")
+	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
+	defaultK := flag.Int("k", 1, "default Pass@k samples per request")
+	maxK := flag.Int("max-k", 10, "largest k a request may ask for")
+	flag.Parse()
+
+	lib := liberty.Nangate45()
+	log.Println("building SynthRAG database...")
+	db, err := chatls.BuildDatabase(chatls.ExperimentConfig{Seed: *seed, TrainEpochs: *epochs, Lib: lib})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	srv, err := server.New(server.Config{
+		Model:             llm.New(llm.GPT4o, *seed),
+		DB:                db,
+		Lib:               lib,
+		Seed:              *seed,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *reqTimeout,
+		TaskCacheSize:     *taskCache,
+		EmbedCacheSize:    *embedCache,
+		RetrieveCacheSize: *retrieveCache,
+		DefaultK:          *defaultK,
+		MaxK:              *maxK,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down: draining in-flight work...")
+		ctx, cancel := context.WithTimeout(context.Background(), 2*(*reqTimeout))
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	log.Printf("chatlsd listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Println("chatlsd stopped")
+}

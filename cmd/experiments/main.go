@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	k := flag.Int("k", 0, "override Pass@k sample count")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited)")
+	workers := flag.Int("workers", 1, "concurrent Pass@k sample workers (1 = paper's serial protocol)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -49,6 +50,7 @@ func main() {
 	if *k != 0 {
 		cfg.K = *k
 	}
+	cfg.Workers = *workers
 
 	wantTable := func(n int) bool { return *all || *table == n }
 	wantFig := func(n int) bool { return *all || *fig == n }

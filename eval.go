@@ -8,6 +8,7 @@ import (
 	"repro/internal/liberty"
 	"repro/internal/resilience"
 	"repro/internal/synth"
+	"repro/internal/workpool"
 )
 
 // SampleOutcome records one Pass@k attempt.
@@ -68,51 +69,139 @@ type degradationReporter interface {
 // records the error in the sample and the remaining samples still run.
 // Only context cancellation/timeout aborts the whole evaluation.
 func RunPassK(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalResult, error) {
+	return RunPassKParallel(ctx, p, d, k, lib, 1)
+}
+
+// RunPassKParallel is RunPassK with the k samples evaluated on a bounded
+// worker pool. workers <= 1 is the serial protocol and produces
+// byte-identical results to RunPassK; workers > 1 requires a pipeline that
+// is safe for concurrent use (ResultPipeline implementations, or any
+// stateless Pipeline) and yields the same samples, best, and counts — only
+// wall-clock changes, because every sample is seeded by its index.
+func RunPassKParallel(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library, workers int) (EvalResult, error) {
 	task, baseQoR, err := NewTask(ctx, d, lib)
 	if err != nil {
 		return EvalResult{}, err
 	}
+	return EvalTask(ctx, p, task, baseQoR, k, lib, workers)
+}
+
+// EvalTask runs the Pass@k evaluation over an already-constructed task —
+// the entry point for callers that cache baseline synthesis (the serving
+// daemon). See RunPassKParallel for the workers contract.
+func EvalTask(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR, k int, lib *liberty.Library, workers int) (EvalResult, error) {
 	res := EvalResult{
 		Pipeline:   p.Name(),
-		Design:     d.Name,
+		Design:     task.Design.Name,
 		K:          k,
 		Baseline:   baseQoR,
 		Best:       baseQoR,
 		BestSample: -1,
 	}
+	if workers > k {
+		workers = k
+	}
+
+	if workers <= 1 {
+		for s := 0; s < k; s++ {
+			out, fatal := evalSample(ctx, p, task, lib, s)
+			if fatal != nil && out == nil {
+				return res, fatal
+			}
+			res.Samples = append(res.Samples, *out)
+			if fatal != nil {
+				return res, fatal
+			}
+			accumulate(&res, *out, s)
+		}
+		return res, nil
+	}
+
+	type slot struct {
+		out   *SampleOutcome
+		fatal error
+	}
+	slots := make([]slot, k)
+	pool := workpool.New(workers, k)
 	for s := 0; s < k; s++ {
-		script, err := p.Customize(ctx, task, s)
+		s := s
+		pool.TrySubmit(func() {
+			slots[s].out, slots[s].fatal = evalSample(ctx, p, task, lib, s)
+		})
+	}
+	pool.Close()
+
+	// Fold in index order so Best/BestSample match the serial protocol; a
+	// fatal error truncates the result at its sample, as the serial loop
+	// would have.
+	for s := 0; s < k; s++ {
+		if slots[s].fatal != nil && slots[s].out == nil {
+			return res, slots[s].fatal
+		}
+		res.Samples = append(res.Samples, *slots[s].out)
+		if slots[s].fatal != nil {
+			return res, slots[s].fatal
+		}
+		accumulate(&res, *slots[s].out, s)
+	}
+	return res, nil
+}
+
+func accumulate(res *EvalResult, out SampleOutcome, s int) {
+	if out.QoR == nil {
+		return
+	}
+	res.Valid++
+	if res.BestSample < 0 || BetterTiming(*out.QoR, res.Best) {
+		res.Best = *out.QoR
+		res.BestSample = s
+	}
+}
+
+// evalSample customizes and synthesizes one Pass@k sample. A nil outcome
+// with a non-nil error means the failure preceded any recordable sample
+// (fatal Customize error); a non-nil outcome with a non-nil error means the
+// sample is recorded and the evaluation must then abort (fatal synthesis
+// error).
+func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int) (*SampleOutcome, error) {
+	var script string
+	var out SampleOutcome
+	if rp, ok := p.(ResultPipeline); ok {
+		cres, err := rp.CustomizeResult(ctx, task, s)
 		if err != nil {
 			if resilience.IsFatal(err) {
-				return res, err
+				return nil, err
 			}
-			res.Samples = append(res.Samples, SampleOutcome{Err: fmt.Sprintf("customize: %v", err)})
-			continue
+			return &SampleOutcome{Err: fmt.Sprintf("customize: %v", err)}, nil
 		}
-		out := SampleOutcome{Script: script}
+		script = cres.Script
+		out = SampleOutcome{Script: script, Degraded: cres.Degradation.Components()}
+	} else {
+		var err error
+		script, err = p.Customize(ctx, task, s)
+		if err != nil {
+			if resilience.IsFatal(err) {
+				return nil, err
+			}
+			return &SampleOutcome{Err: fmt.Sprintf("customize: %v", err)}, nil
+		}
+		out = SampleOutcome{Script: script}
 		if dr, ok := p.(degradationReporter); ok {
 			if rep := dr.Degradation(); rep != nil {
 				out.Degraded = rep.Components()
 			}
 		}
-		sess := synth.NewSession(lib)
-		sess.AddSource(d.FileName, d.Source)
-		run, err := sess.RunContext(ctx, script)
-		if err != nil {
-			if resilience.IsFatal(err) {
-				return res, err
-			}
-			out.Err = err.Error()
-			res.Samples = append(res.Samples, out)
-			continue
-		}
-		res.Valid++
-		out.QoR = run.QoR
-		res.Samples = append(res.Samples, out)
-		if res.BestSample < 0 || BetterTiming(*run.QoR, res.Best) {
-			res.Best = *run.QoR
-			res.BestSample = s
-		}
 	}
-	return res, nil
+	sess := synth.NewSession(lib)
+	sess.AddSource(task.Design.FileName, task.Design.Source)
+	run, err := sess.RunContext(ctx, script)
+	if err != nil {
+		if resilience.IsFatal(err) {
+			return &out, err
+		}
+		out.Err = err.Error()
+		return &out, nil
+	}
+	out.QoR = run.QoR
+	return &out, nil
 }

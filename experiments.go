@@ -60,9 +60,14 @@ type ExperimentConfig struct {
 	Seed        int64
 	K           int // Pass@k samples (paper: 5)
 	TrainEpochs int // metric-learning epochs for the database build
-	Lib         *liberty.Library
-	Designs     []*designs.Design // nil = the full Table IV benchmark set
-	SoCCount    int               // Fig. 5 query workload size
+	// Workers bounds concurrent Pass@k sample evaluation. 0 or 1 keeps the
+	// paper's serial protocol; higher values only change wall-clock (samples
+	// are seeded by index), but default serial keeps results byte-identical
+	// run to run regardless of scheduling.
+	Workers  int
+	Lib      *liberty.Library
+	Designs  []*designs.Design // nil = the full Table IV benchmark set
+	SoCCount int               // Fig. 5 query workload size
 }
 
 // DefaultConfig matches the paper's protocol.
@@ -188,7 +193,7 @@ func Table3(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([
 		row := Table3Row{Design: d.Name}
 		failed := false
 		for _, p := range pipelines {
-			res, err := RunPassK(ctx, p, d, cfg.K, cfg.Lib)
+			res, err := RunPassKParallel(ctx, p, d, cfg.K, cfg.Lib, cfg.Workers)
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err
@@ -530,7 +535,7 @@ func Ablations(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database)
 	for _, variant := range AblationVariants {
 		p := mk(variant)
 		for _, d := range cfg.Designs {
-			res, err := RunPassK(ctx, p, d, cfg.K, cfg.Lib)
+			res, err := RunPassKParallel(ctx, p, d, cfg.K, cfg.Lib, cfg.Workers)
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "requests served")
+	g := r.NewGauge("test_queue_depth", "queued tasks")
+	c.Inc()
+	c.Add(2)
+	g.Set(7)
+	g.Add(-3)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests served",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		"# TYPE test_queue_depth gauge",
+		"test_queue_depth 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Name order is deterministic.
+	if strings.Index(out, "test_queue_depth") > strings.Index(out, "test_requests_total") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.ObserveDuration(2 * time.Millisecond)
+
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 2`,
+		`test_latency_seconds_bucket{le="0.1"} 3`,
+		`test_latency_seconds_bucket{le="1"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.NewCounterFunc("test_cache_hits_total", "cache hits", func() int64 { return n })
+	n++
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "test_cache_hits_total 42") {
+		t.Errorf("func metric not sampled at exposition:\n%s", b.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "")
+	h := r.NewHistogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: counter %d histogram %d", c.Value(), h.Count())
+	}
+}

@@ -1,0 +1,417 @@
+// Package server is the serving layer for the ChatLS pipeline: an HTTP JSON
+// API that customizes synthesis scripts on demand. It layers, on top of the
+// one-shot experiment harness, the machinery a long-lived daemon needs:
+//
+//   - a bounded worker pool with admission control (full queue → 429),
+//   - a per-request deadline (resilience timeout → 504),
+//   - singleflight deduplication of identical in-flight requests,
+//   - LRU caches for the expensive idempotent stages (baseline task
+//     construction, design-graph embeddings, strategy retrieval),
+//   - a metrics registry exposed in Prometheus text format,
+//   - graceful shutdown that drains in-flight work.
+//
+// Concurrency model: the llm.Model, synthrag.Database, and liberty.Library
+// shared across requests are immutable at serving time; each request gets
+// its own pipeline instance (cheap — a pair of struct allocations) and its
+// own shallow copy of the cached baseline task, so no per-call state is
+// ever shared between goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	chatls "repro"
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/lru"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+	"repro/internal/synth"
+	"repro/internal/synthrag"
+	"repro/internal/workpool"
+)
+
+// Config assembles a Server. Zero values get serving defaults (see New).
+type Config struct {
+	Model *llm.Model         // generator for the chatls pipeline
+	DB    *synthrag.Database // built SynthRAG database (required)
+	Lib   *liberty.Library   // cell library; nil = Nangate45
+	Seed  int64              // seed for raw-pipeline model instances
+
+	Designs []*designs.Design // servable designs; nil = full benchmark set
+
+	Workers        int           // worker pool size (default 2)
+	QueueDepth     int           // admission-control queue bound (default 8)
+	RequestTimeout time.Duration // per-request deadline (default 60s)
+
+	TaskCacheSize     int // baseline-task LRU entries (default 16)
+	EmbedCacheSize    int // design-embedding LRU entries (default 64)
+	RetrieveCacheSize int // strategy-retrieval LRU entries (default 256)
+
+	DefaultK int // Pass@k when the request omits k (default 1)
+	MaxK     int // upper bound on requested k (default 10)
+}
+
+// taskEntry is one cached baseline synthesis: the pristine task (requirement
+// left at the default — requests get a copy) and its QoR.
+type taskEntry struct {
+	task *chatls.Task
+	qor  synth.QoR
+}
+
+// Server handles the ChatLS HTTP API. Create with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	cfg    Config
+	byName map[string]*designs.Design
+	pool   *workpool.Pool
+	flight *flightGroup
+	tasks  *lru.Cache[string, taskEntry]
+	reg    *metrics.Registry
+	closed atomic.Bool
+
+	requests *metrics.Counter
+	rejected *metrics.Counter
+	errs     *metrics.Counter
+	timeouts *metrics.Counter
+	sfShared *metrics.Counter
+	latency  *metrics.Histogram
+
+	// hookBeforeWork, when set, runs at the start of every pool-executed
+	// customization. Tests use it to hold a worker in place while they
+	// observe admission control, singleflight joins, and shutdown draining.
+	hookBeforeWork func()
+}
+
+var errOverloaded = errors.New("queue full")
+
+// New validates the config, applies defaults, enables the database caches,
+// and wires the metrics registry.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("server: Config.Model is required")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.Lib == nil {
+		cfg.Lib = liberty.Nangate45()
+	}
+	if cfg.Designs == nil {
+		cfg.Designs = designs.Benchmarks()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.TaskCacheSize <= 0 {
+		cfg.TaskCacheSize = 16
+	}
+	if cfg.EmbedCacheSize <= 0 {
+		cfg.EmbedCacheSize = 64
+	}
+	if cfg.RetrieveCacheSize <= 0 {
+		cfg.RetrieveCacheSize = 256
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 1
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 10
+	}
+
+	cfg.DB.EnableCache(cfg.EmbedCacheSize, cfg.RetrieveCacheSize)
+
+	s := &Server{
+		cfg:    cfg,
+		byName: make(map[string]*designs.Design, len(cfg.Designs)),
+		pool:   workpool.New(cfg.Workers, cfg.QueueDepth),
+		flight: newFlightGroup(),
+		tasks:  lru.New[string, taskEntry](cfg.TaskCacheSize),
+		reg:    metrics.NewRegistry(),
+	}
+	for _, d := range cfg.Designs {
+		s.byName[d.Name] = d
+	}
+
+	s.requests = s.reg.NewCounter("chatlsd_requests_total", "customize requests received")
+	s.rejected = s.reg.NewCounter("chatlsd_rejected_total", "requests rejected by admission control")
+	s.errs = s.reg.NewCounter("chatlsd_errors_total", "customize requests that failed")
+	s.timeouts = s.reg.NewCounter("chatlsd_timeouts_total", "customize requests that hit the per-request deadline")
+	s.sfShared = s.reg.NewCounter("chatlsd_singleflight_shared_total", "requests coalesced onto an identical in-flight request")
+	s.flight.onJoin = s.sfShared.Inc
+	s.reg.NewCounterFunc("chatlsd_task_cache_hits_total", "baseline-task cache hits", s.tasks.Hits)
+	s.reg.NewCounterFunc("chatlsd_task_cache_misses_total", "baseline-task cache misses", s.tasks.Misses)
+	s.reg.NewCounterFunc("chatlsd_embed_cache_hits_total", "design-embedding cache hits",
+		func() int64 { return cfg.DB.CacheStats().EmbedHits })
+	s.reg.NewCounterFunc("chatlsd_embed_cache_misses_total", "design-embedding cache misses",
+		func() int64 { return cfg.DB.CacheStats().EmbedMisses })
+	s.reg.NewCounterFunc("chatlsd_retrieve_cache_hits_total", "strategy-retrieval cache hits",
+		func() int64 { return cfg.DB.CacheStats().RetrieveHits })
+	s.reg.NewCounterFunc("chatlsd_retrieve_cache_misses_total", "strategy-retrieval cache misses",
+		func() int64 { return cfg.DB.CacheStats().RetrieveMisses })
+	s.reg.NewGaugeFunc("chatlsd_queue_depth", "tasks waiting in the worker-pool queue",
+		func() int64 { return int64(s.pool.Queued()) })
+	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
+		func() int64 { return int64(s.pool.Busy()) })
+	s.latency = s.reg.NewHistogram("chatlsd_customize_seconds", "end-to-end customize latency", metrics.DefaultLatencyBuckets)
+
+	return s, nil
+}
+
+// Close stops admitting requests and drains in-flight and queued work.
+// Idempotent.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.pool.Close()
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/customize", s.handleCustomize)
+	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// customizeRequest is the POST /v1/customize body.
+type customizeRequest struct {
+	Design      string `json:"design"`
+	Requirement string `json:"requirement,omitempty"`
+	Pipeline    string `json:"pipeline,omitempty"` // chatls (default), gpt4o, claude
+	K           int    `json:"k,omitempty"`
+}
+
+// sampleJSON is one Pass@k attempt in the response.
+type sampleJSON struct {
+	QoR      *synth.QoR `json:"qor,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Degraded []string   `json:"degraded,omitempty"`
+}
+
+// customizeResponse is the POST /v1/customize reply.
+type customizeResponse struct {
+	Design     string       `json:"design"`
+	Pipeline   string       `json:"pipeline"`
+	K          int          `json:"k"`
+	Baseline   synth.QoR    `json:"baseline"`
+	Best       synth.QoR    `json:"best"`
+	BestSample int          `json:"best_sample"`
+	Valid      int          `json:"valid"`
+	Improved   bool         `json:"improved"`
+	Script     string       `json:"script,omitempty"`
+	Samples    []sampleJSON `json:"samples"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	}
+	s.requests.Inc()
+
+	var req customizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	d, ok := s.byName[req.Design]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown design %q", req.Design)})
+		return
+	}
+	if req.Requirement == "" {
+		req.Requirement = chatls.DefaultRequirement
+	}
+	if req.Pipeline == "" {
+		req.Pipeline = "chatls"
+	}
+	switch req.Pipeline {
+	case "chatls", "gpt4o", "claude":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown pipeline %q", req.Pipeline)})
+		return
+	}
+	if req.K <= 0 {
+		req.K = s.cfg.DefaultK
+	}
+	if req.K > s.cfg.MaxK {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("k %d exceeds limit %d", req.K, s.cfg.MaxK)})
+		return
+	}
+
+	// Identical concurrent requests share one execution (and one worker
+	// slot); the key is every input that shapes the result.
+	key := fmt.Sprintf("%s\x00%s\x00%s\x00%d", req.Design, req.Requirement, req.Pipeline, req.K)
+	v, _, err := s.flight.Do(key, func() (any, error) {
+		var out *customizeResponse
+		var werr error
+		done := make(chan struct{})
+		if !s.pool.TrySubmit(func() {
+			defer close(done)
+			out, werr = s.runCustomize(d, req)
+		}) {
+			return nil, errOverloaded
+		}
+		<-done
+		return out, werr
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, errOverloaded):
+			s.rejected.Inc()
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server overloaded, retry later"})
+		case errors.Is(err, resilience.ErrTimeout):
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request deadline exceeded"})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// runCustomize executes one deduplicated customization on a pool worker.
+// The deadline derives from context.Background(), not the client's request
+// context, so a client disconnect does not abort work a coalesced follower
+// may still be waiting on — and so graceful shutdown drains rather than
+// cancels.
+func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customizeResponse, error) {
+	if h := s.hookBeforeWork; h != nil {
+		h()
+	}
+	start := time.Now()
+	defer func() { s.latency.ObserveDuration(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	task, baseQoR, err := s.baselineTask(ctx, d)
+	if err != nil {
+		s.countErr(err)
+		return nil, err
+	}
+	// Shallow copy: the cached task must keep its pristine requirement.
+	t := *task
+	t.Requirement = req.Requirement
+
+	res, err := chatls.EvalTask(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib, 1)
+	if err != nil {
+		s.countErr(err)
+		return nil, err
+	}
+
+	out := &customizeResponse{
+		Design:     res.Design,
+		Pipeline:   req.Pipeline,
+		K:          res.K,
+		Baseline:   res.Baseline,
+		Best:       res.Best,
+		BestSample: res.BestSample,
+		Valid:      res.Valid,
+		Improved:   res.Improved(),
+		Samples:    make([]sampleJSON, 0, len(res.Samples)),
+	}
+	if res.BestSample >= 0 {
+		out.Script = res.Samples[res.BestSample].Script
+	}
+	for _, smp := range res.Samples {
+		out.Samples = append(out.Samples, sampleJSON{QoR: smp.QoR, Error: smp.Err, Degraded: smp.Degraded})
+	}
+	return out, nil
+}
+
+func (s *Server) countErr(err error) {
+	if errors.Is(err, resilience.ErrTimeout) {
+		s.timeouts.Inc()
+	} else {
+		s.errs.Inc()
+	}
+}
+
+// baselineTask returns the cached baseline synthesis for a design, running
+// it on a miss. The cache key includes the clock period because the
+// baseline QoR is period-dependent.
+func (s *Server) baselineTask(ctx context.Context, d *designs.Design) (*chatls.Task, synth.QoR, error) {
+	key := fmt.Sprintf("%s@%.6g", d.Name, d.Period)
+	if e, ok := s.tasks.Get(key); ok {
+		return e.task, e.qor, nil
+	}
+	task, qor, err := chatls.NewTask(ctx, d, s.cfg.Lib)
+	if err != nil {
+		return nil, synth.QoR{}, err
+	}
+	s.tasks.Add(key, taskEntry{task: task, qor: qor})
+	return task, qor, nil
+}
+
+// newPipeline builds a per-request pipeline instance over the shared
+// immutable model and database.
+func (s *Server) newPipeline(name string) chatls.Pipeline {
+	switch name {
+	case "gpt4o":
+		return &chatls.RawPipeline{Model: llm.New(llm.GPT4o, s.cfg.Seed)}
+	case "claude":
+		return &chatls.RawPipeline{Model: llm.New(llm.Claude35, s.cfg.Seed)}
+	default:
+		return chatls.NewChatLS(s.cfg.Model, s.cfg.DB)
+	}
+}
+
+// designJSON is one entry of GET /v1/designs.
+type designJSON struct {
+	Name     string   `json:"name"`
+	Top      string   `json:"top"`
+	Category string   `json:"category"`
+	Period   float64  `json:"period_ns"`
+	Traits   []string `json:"traits,omitempty"`
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	out := make([]designJSON, 0, len(s.cfg.Designs))
+	for _, d := range s.cfg.Designs {
+		out = append(out, designJSON{Name: d.Name, Top: d.Top, Category: d.Category, Period: d.Period, Traits: d.Traits})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "shutting down"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/synthrag"
+)
+
+var testLib = liberty.Nangate45()
+
+// newTestServer builds a server over a fast retrieval-only database. Each
+// test gets its own database so cache counters start from zero.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	db, err := synthrag.Build(synthrag.BuildConfig{Seed: 2, SkipSynth: true, Lib: testLib})
+	if err != nil {
+		t.Fatalf("build database: %v", err)
+	}
+	cfg.Model = llm.New(llm.GPT4o, 2)
+	cfg.DB = db
+	cfg.Lib = testLib
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postCustomize(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/customize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/customize: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+// metricValue extracts a plain counter/gauge value from /metrics text.
+func metricValue(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+func TestCustomizeEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/designs")
+	if err != nil {
+		t.Fatalf("GET /v1/designs: %v", err)
+	}
+	var ds []designJSON
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatalf("decode designs: %v", err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, d := range ds {
+		if d.Name == "riscv32i" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("riscv32i missing from %d served designs", len(ds))
+	}
+
+	hr, body := postCustomize(t, ts.URL, `{"design":"riscv32i","k":2}`)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("customize status %d: %s", hr.StatusCode, body)
+	}
+	var out customizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if out.Design != "riscv32i" || out.Pipeline != "chatls" || out.K != 2 {
+		t.Errorf("response header = %s/%s/k%d", out.Design, out.Pipeline, out.K)
+	}
+	if len(out.Samples) != 2 {
+		t.Errorf("samples = %d, want 2", len(out.Samples))
+	}
+	if out.Baseline.Area <= 0 {
+		t.Errorf("baseline area %v, want > 0", out.Baseline.Area)
+	}
+	if out.Valid > 0 && out.Script == "" {
+		t.Error("valid samples but empty best script")
+	}
+
+	// Bad inputs.
+	for body, want := range map[string]int{
+		`{"design":"nope"}`:                    http.StatusNotFound,
+		`{"design":"riscv32i","k":99}`:         http.StatusBadRequest,
+		`{"design":"riscv32i","pipeline":"x"}`: http.StatusBadRequest,
+		`not json`:                             http.StatusBadRequest,
+	} {
+		hr, _ := postCustomize(t, ts.URL, body)
+		if hr.StatusCode != want {
+			t.Errorf("POST %s: status %d, want %d", body, hr.StatusCode, want)
+		}
+	}
+}
+
+// TestTaskCacheHit is the acceptance check: a repeated POST must skip
+// baseline synthesis, observable through the /metrics hit counters.
+func TestTaskCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := `{"design":"riscv32i","k":1}`
+	if hr, body := postCustomize(t, ts.URL, req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", hr.StatusCode, body)
+	}
+	if m := metricValue(t, ts.URL, "chatlsd_task_cache_misses_total"); m != 1 {
+		t.Errorf("after first request: task cache misses = %v, want 1", m)
+	}
+	if h := metricValue(t, ts.URL, "chatlsd_task_cache_hits_total"); h != 0 {
+		t.Errorf("after first request: task cache hits = %v, want 0", h)
+	}
+
+	if hr, body := postCustomize(t, ts.URL, req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", hr.StatusCode, body)
+	}
+	if h := metricValue(t, ts.URL, "chatlsd_task_cache_hits_total"); h != 1 {
+		t.Errorf("after repeat request: task cache hits = %v, want 1", h)
+	}
+	// The design embedding is cached too: the repeat request must not
+	// re-run the GNN forward pass.
+	if h := metricValue(t, ts.URL, "chatlsd_embed_cache_hits_total"); h < 1 {
+		t.Errorf("embed cache hits = %v, want >= 1", h)
+	}
+	if n := metricValue(t, ts.URL, "chatlsd_requests_total"); n != 2 {
+		t.Errorf("requests_total = %v, want 2", n)
+	}
+}
+
+// TestSingleflight holds the leader in the worker via the test hook and
+// checks that an identical concurrent request joins it rather than running
+// (observable in the shared counter before the leader finishes), and that
+// both callers get the same response.
+func TestSingleflight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.hookBeforeWork = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := `{"design":"riscv32i","k":1}`
+	type reply struct {
+		code int
+		body []byte
+	}
+	replies := make(chan reply, 2)
+	post := func() {
+		hr, body := postCustomize(t, ts.URL, req)
+		replies <- reply{hr.StatusCode, body}
+	}
+	go post()
+	<-started // leader is on a worker, blocked in the hook
+	go post()
+
+	// The follower joins the in-flight call; the join is counted before the
+	// leader completes, so the counter must reach 1 while work is blocked.
+	deadline := time.After(5 * time.Second)
+	for metricValue(t, ts.URL, "chatlsd_singleflight_shared_total") != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("second identical request never joined the in-flight call")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(release)
+
+	a, b := <-replies, <-replies
+	if a.code != http.StatusOK || b.code != http.StatusOK {
+		t.Fatalf("statuses %d/%d, want 200/200", a.code, b.code)
+	}
+	if !bytes.Equal(a.body, b.body) {
+		t.Error("coalesced requests returned different bodies")
+	}
+	// One execution: exactly one worker ran, so only one baseline miss.
+	if m := metricValue(t, ts.URL, "chatlsd_task_cache_misses_total"); m != 1 {
+		t.Errorf("task cache misses = %v, want 1 (single execution)", m)
+	}
+}
+
+// TestAdmissionControl saturates a 1-worker/1-slot pool with distinct
+// requests and checks the third is rejected with 429.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.hookBeforeWork = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := make(chan int, 2)
+	post := func(design string) {
+		hr, _ := postCustomize(t, ts.URL, fmt.Sprintf(`{"design":%q,"k":1}`, design))
+		codes <- hr.StatusCode
+	}
+	go post("riscv32i")
+	<-started // worker occupied
+	go post("dynamic_node")
+	deadline := time.After(5 * time.Second)
+	for s.pool.Queued() != 1 { // second request parked in the queue slot
+		select {
+		case <-deadline:
+			t.Fatal("second request never queued")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	hr, _ := postCustomize(t, ts.URL, `{"design":"ethmac","k":1}`)
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429", hr.StatusCode)
+	}
+	if n := metricValue(t, ts.URL, "chatlsd_rejected_total"); n != 1 {
+		t.Errorf("rejected_total = %v, want 1", n)
+	}
+
+	close(release)
+	if c := <-codes; c != http.StatusOK {
+		t.Errorf("first request: %d, want 200", c)
+	}
+	if c := <-codes; c != http.StatusOK {
+		t.Errorf("queued request: %d, want 200", c)
+	}
+}
+
+// TestShutdownDrains verifies Close refuses new work immediately but does
+// not return until in-flight work finishes — and that the drained request
+// still gets its full response.
+func TestShutdownDrains(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.hookBeforeWork = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		hr, body := postCustomize(t, ts.URL, `{"design":"riscv32i","k":1}`)
+		replies <- reply{hr.StatusCode, body}
+	}()
+	<-started
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// New work is refused while draining.
+	hr, _ := postCustomize(t, ts.URL, `{"design":"riscv32i","k":1}`)
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining server returned %d, want 503", hr.StatusCode)
+	}
+
+	close(release)
+	<-closed
+	r := <-replies
+	if r.code != http.StatusOK {
+		t.Fatalf("drained request: %d %s", r.code, r.body)
+	}
+	var out customizeResponse
+	if err := json.Unmarshal(r.body, &out); err != nil || out.Design != "riscv32i" {
+		t.Errorf("drained response corrupt: %v %s", err, r.body)
+	}
+}
+
+// TestConcurrentHammer drives mixed concurrent traffic through the server;
+// run under -race it checks the shared database, caches, and per-request
+// pipelines really are safe for concurrent use.
+func TestConcurrentHammer(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []string{
+		`{"design":"riscv32i","k":2}`,
+		`{"design":"riscv32i","k":1,"pipeline":"gpt4o"}`,
+		`{"design":"dynamic_node","k":1}`,
+		`{"design":"riscv32i","k":2,"requirement":"recover area, timing is met"}`,
+		`{"design":"dynamic_node","k":1,"pipeline":"claude"}`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(reqs))
+	for round := 0; round < 4; round++ {
+		for _, body := range reqs {
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/customize", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				b, _ := io.ReadAll(resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var out customizeResponse
+					if err := json.Unmarshal(b, &out); err != nil {
+						errs <- fmt.Errorf("bad 200 body: %v", err)
+					}
+				case http.StatusTooManyRequests:
+					// admission control under burst is fine
+				default:
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				}
+			}(body)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := metricValue(t, ts.URL, "chatlsd_requests_total"); n != 20 {
+		t.Errorf("requests_total = %v, want 20", n)
+	}
+}

@@ -1,0 +1,137 @@
+package synthrag
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/circuitmentor"
+	"repro/internal/lru"
+)
+
+// Concurrency: a Database is mutable only during Build. Once Build returns,
+// every serving-path method (EmbedDesign*, RetrieveStrategies*,
+// SearchManual*, ModuleCode, CellInfo, RetrieveModules) only reads — the
+// graph database executes MATCH queries over built indexes, the GNN forward
+// pass allocates fresh state per call, and the vector indexes are scan-only
+// — so one Database is safe for any number of concurrent readers. The
+// optional cache enabled below is internally locked.
+
+type embedEntry struct {
+	emb []float64
+	dg  *circuitmentor.DesignGraph
+}
+
+// dbCache memoizes the two expensive idempotent retrieval stages: design
+// graph embedding (parse + GNN forward) and reranked strategy retrieval.
+type dbCache struct {
+	embed    *lru.Cache[string, embedEntry]
+	retrieve *lru.Cache[string, []StrategyHit]
+}
+
+// EnableCache equips the database with bounded LRU caches for design
+// embeddings and strategy-retrieval results. Intended for long-lived
+// serving processes where the same designs recur across requests; the
+// one-shot experiment harness leaves it off. Call before sharing the
+// database across goroutines (the caches themselves are concurrency-safe,
+// but enabling mid-flight races with readers).
+func (db *Database) EnableCache(embedCap, retrieveCap int) {
+	db.cache = &dbCache{
+		embed:    lru.New[string, embedEntry](embedCap),
+		retrieve: lru.New[string, []StrategyHit](retrieveCap),
+	}
+}
+
+// CacheStats reports the cache hit/miss counters (zero when the cache is
+// not enabled).
+type CacheStats struct {
+	EmbedHits, EmbedMisses       int64
+	RetrieveHits, RetrieveMisses int64
+}
+
+// CacheStats returns the current cache counters.
+func (db *Database) CacheStats() CacheStats {
+	if db.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		EmbedHits:      db.cache.embed.Hits(),
+		EmbedMisses:    db.cache.embed.Misses(),
+		RetrieveHits:   db.cache.retrieve.Hits(),
+		RetrieveMisses: db.cache.retrieve.Misses(),
+	}
+}
+
+// embedKey identifies a design source for the embedding cache.
+func embedKey(src, top string) string {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], h.Sum64())
+	return top + "\x00" + string(b[:])
+}
+
+// retrieveKey identifies one retrieval request: the query embedding bits,
+// the trait set, and the rerank parameters.
+func retrieveKey(query []float64, traits []string, k int, alpha, beta, gamma float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	for _, q := range query {
+		put(q)
+	}
+	for _, t := range traits {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(k))
+	h.Write(b[:])
+	put(alpha)
+	put(beta)
+	put(gamma)
+	binary.LittleEndian.PutUint64(b[:], h.Sum64())
+	return string(b[:])
+}
+
+// cachedEmbed consults the embedding cache; ok is false when caching is off
+// or the key misses.
+func (db *Database) cachedEmbed(key string) ([]float64, *circuitmentor.DesignGraph, bool) {
+	if db.cache == nil {
+		return nil, nil, false
+	}
+	e, ok := db.cache.embed.Get(key)
+	if !ok {
+		return nil, nil, false
+	}
+	// The embedding is copied so a caller mutating its slice cannot corrupt
+	// the cache; the graph is shared read-only.
+	return append([]float64(nil), e.emb...), e.dg, true
+}
+
+func (db *Database) storeEmbed(key string, emb []float64, dg *circuitmentor.DesignGraph) {
+	if db.cache == nil {
+		return
+	}
+	db.cache.embed.Add(key, embedEntry{emb: append([]float64(nil), emb...), dg: dg})
+}
+
+func (db *Database) cachedRetrieve(key string) ([]StrategyHit, bool) {
+	if db.cache == nil {
+		return nil, false
+	}
+	hits, ok := db.cache.retrieve.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]StrategyHit(nil), hits...), true
+}
+
+func (db *Database) storeRetrieve(key string, hits []StrategyHit) {
+	if db.cache == nil {
+		return
+	}
+	db.cache.retrieve.Add(key, append([]StrategyHit(nil), hits...))
+}

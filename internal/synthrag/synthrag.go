@@ -83,6 +83,7 @@ type Database struct {
 	manualIndex *vecindex.Flat             // manual section embeddings
 	manualByID  map[string]int             // vec id -> doc index
 	lib         *liberty.Library
+	cache       *dbCache // optional serving-path memoization (EnableCache)
 }
 
 // BuildConfig controls database construction.
@@ -312,6 +313,13 @@ func (db *Database) RetrieveStrategiesForContext(ctx context.Context, query []fl
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var key string
+	if db.cache != nil {
+		key = retrieveKey(query, queryTraits, k, alpha, beta, gamma)
+		if hits, ok := db.cachedRetrieve(key); ok {
+			return hits, nil
+		}
+	}
 	raw := db.globalIndex.Search(query, max(k*4, k))
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -331,6 +339,9 @@ func (db *Database) RetrieveStrategiesForContext(ctx context.Context, query []fl
 	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
 	if k < len(hits) {
 		hits = hits[:k]
+	}
+	if db.cache != nil {
+		db.storeRetrieve(key, hits)
 	}
 	return hits, nil
 }
@@ -487,6 +498,13 @@ func (db *Database) EmbedDesignContext(ctx context.Context, src, top string) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	var key string
+	if db.cache != nil {
+		key = embedKey(src, top)
+		if emb, dg, ok := db.cachedEmbed(key); ok {
+			return emb, dg, nil
+		}
+	}
 	dg, err := circuitmentor.BuildGraph(src, top)
 	if err != nil {
 		return nil, nil, err
@@ -494,7 +512,11 @@ func (db *Database) EmbedDesignContext(ctx context.Context, src, top string) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return db.Mentor.EmbedGlobal(dg), dg, nil
+	emb := db.Mentor.EmbedGlobal(dg)
+	if db.cache != nil {
+		db.storeEmbed(key, emb, dg)
+	}
+	return emb, dg, nil
 }
 
 // EmbedModulesOf returns per-module embeddings of query RTL.
