@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench
+.PHONY: build test short race vet ci serve bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,14 @@ serve:
 BENCH ?= Elaborate|Compile|Customize|Embed
 bench:
 	$(GO) test -bench='$(BENCH)' -benchmem -run=^$$ .
+
+# Headline perf record: runs the two paper-scale benchmarks five times each
+# and writes the averaged ns/op, B/op, allocs/op to BENCH_3.json for
+# comparison against earlier checked-in records.
+COMPARE ?= Table2DatabaseBuild|Table4Baseline
+bench-compare:
+	$(GO) test -bench='$(COMPARE)' -benchmem -benchtime=1x -count=5 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson > BENCH_3.json
+	@cat BENCH_3.json
 
 ci: build vet race

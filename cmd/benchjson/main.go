@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// summary for checked-in benchmark records and CI comparison:
+//
+//	go test -run='^$' -bench 'Table4' -benchmem -count=5 . | benchjson > BENCH.json
+//
+// Each benchmark name maps to the mean of its ns/op, B/op, and allocs/op
+// across the -count repetitions, plus the repetition count. The GOMAXPROCS
+// suffix go appends to parallel-capable benchmarks (Name-8) is stripped so
+// records diff cleanly across machines with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+type accum struct {
+	ns, b, allocs float64
+	hasMem        bool
+	runs          int
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix from a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parse aggregates benchmark lines from r. Non-benchmark lines (the ok/PASS
+// trailer, build output) are ignored.
+func parse(r io.Reader) (map[string]*accum, error) {
+	out := map[string]*accum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcs(fields[0])
+		a := out[name]
+		if a == nil {
+			a = &accum{}
+			out[name] = a
+		}
+		a.runs++
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.b += v
+				a.hasMem = true
+			case "allocs/op":
+				a.allocs += v
+				a.hasMem = true
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func summarize(accums map[string]*accum) map[string]Result {
+	out := make(map[string]Result, len(accums))
+	for name, a := range accums {
+		n := float64(a.runs)
+		res := Result{NsPerOp: a.ns / n, Runs: a.runs}
+		if a.hasMem {
+			res.BPerOp = a.b / n
+			res.AllocsPerOp = a.allocs / n
+		}
+		out[name] = res
+	}
+	return out
+}
+
+func main() {
+	accums, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(accums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// Marshal through an ordered structure: encoding/json sorts map keys,
+	// but be explicit so the record is stable for diffing.
+	names := make([]string, 0, len(accums))
+	for n := range accums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	summary := summarize(accums)
+	ordered := make(map[string]Result, len(names))
+	for _, n := range names {
+		ordered[n] = summary[n]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAveragesAndStripsProcs(t *testing.T) {
+	in := `goos: linux
+BenchmarkTable4Baseline-8   	       1	100000000 ns/op	50000000 B/op	  500000 allocs/op
+BenchmarkTable4Baseline-8   	       1	300000000 ns/op	70000000 B/op	  700000 allocs/op
+BenchmarkMatMul/64x64-8     	    1000	     12345 ns/op
+PASS
+ok  	repro	1.234s
+`
+	accums, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := summarize(accums)
+	r, ok := sum["BenchmarkTable4Baseline"]
+	if !ok {
+		t.Fatalf("missing BenchmarkTable4Baseline; got %v", sum)
+	}
+	if r.Runs != 2 || r.NsPerOp != 200000000 || r.BPerOp != 60000000 || r.AllocsPerOp != 600000 {
+		t.Errorf("Table4Baseline = %+v", r)
+	}
+	m, ok := sum["BenchmarkMatMul/64x64"]
+	if !ok {
+		t.Fatalf("missing BenchmarkMatMul/64x64; got %v", sum)
+	}
+	if m.Runs != 1 || m.NsPerOp != 12345 || m.BPerOp != 0 {
+		t.Errorf("MatMul = %+v", m)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo/a-b-16": "BenchmarkFoo/a-b",
+		"BenchmarkFoo/a-b":    "BenchmarkFoo/a-b", // non-numeric suffix stays
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

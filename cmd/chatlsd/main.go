@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +42,7 @@ func main() {
 	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
 	defaultK := flag.Int("k", 1, "default Pass@k samples per request")
 	maxK := flag.Int("max-k", 10, "largest k a request may ask for")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	lib := liberty.Nangate45()
@@ -70,7 +72,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the endpoints expose internals and add
+		// overhead, so they never ride along on a default deployment.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Println("pprof profiling enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/synthrag"
 	"repro/internal/textembed"
 	"repro/internal/vecindex"
+	"repro/internal/workpool"
 )
 
 // ProtocolSeed is the paper's evaluation seed (date of the protocol run).
@@ -60,10 +62,13 @@ type ExperimentConfig struct {
 	Seed        int64
 	K           int // Pass@k samples (paper: 5)
 	TrainEpochs int // metric-learning epochs for the database build
-	// Workers bounds concurrent Pass@k sample evaluation. 0 or 1 keeps the
-	// paper's serial protocol; higher values only change wall-clock (samples
-	// are seeded by index), but default serial keeps results byte-identical
-	// run to run regardless of scheduling.
+	// Workers bounds concurrency. For Pass@k sample evaluation 0 or 1 keeps
+	// the paper's serial protocol; higher values only change wall-clock
+	// (samples are seeded by index), but default serial keeps results
+	// byte-identical run to run regardless of scheduling. The database build
+	// and the Table IV sweep instead fan out across GOMAXPROCS when Workers
+	// is 0: their per-design work is pure and results are assembled in design
+	// order, so any worker count produces identical output (1 forces serial).
 	Workers  int
 	Lib      *liberty.Library
 	Designs  []*designs.Design // nil = the full Table IV benchmark set
@@ -104,6 +109,7 @@ func BuildDatabase(cfg ExperimentConfig) (*synthrag.Database, error) {
 		Seed:        cfg.Seed,
 		TrainEpochs: cfg.TrainEpochs,
 		Lib:         cfg.Lib,
+		Workers:     cfg.Workers,
 	})
 }
 
@@ -119,21 +125,35 @@ type Table4Row struct {
 // Table4 runs every benchmark's adapted baseline script. Designs are
 // isolated: a failing design is recorded in the returned SweepErrors and the
 // sweep continues; only a fatal (context) error aborts early with the rows
-// gathered so far.
+// gathered so far. Designs synthesize in parallel (each in its own session),
+// but rows and errors are assembled in design order, so the output is
+// identical to the serial sweep.
 func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	cfg.fill()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		q   synth.QoR
+		err error
+	}
+	results := make([]outcome, len(cfg.Designs))
+	workpool.Run(workers, len(cfg.Designs), func(i int) {
+		_, q, err := NewTask(ctx, cfg.Designs[i], cfg.Lib)
+		results[i] = outcome{q: q, err: err}
+	})
 	var rows []Table4Row
 	var errs SweepErrors
-	for _, d := range cfg.Designs {
-		_, q, err := NewTask(ctx, d, cfg.Lib)
-		if err != nil {
+	for i, d := range cfg.Designs {
+		if err := results[i].err; err != nil {
 			if resilience.IsFatal(err) {
 				return rows, err
 			}
 			errs = append(errs, DesignError{Design: d.Name, Err: err})
 			continue
 		}
-		rows = append(rows, Table4Row{Design: d.Name, QoR: q})
+		rows = append(rows, Table4Row{Design: d.Name, QoR: results[i].q})
 	}
 	return rows, errs.OrNil()
 }

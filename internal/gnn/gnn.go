@@ -10,6 +10,7 @@ package gnn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/tensor"
 )
@@ -89,11 +90,34 @@ func New(cfg Config) *Model {
 // Config returns the model configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// aggParallelWork is the gather size (neighbour rows times feature width)
+// above which aggregate fans out across cores. Each output row is gathered
+// entirely by one goroutine in neighbour-list order, so the parallel path is
+// bit-identical to the serial one.
+const aggParallelWork = 1 << 17
+
 // aggregate applies the neighbourhood aggregator: out[v] = agg(h[u] for u
-// in N(v)). Isolated nodes aggregate to zero.
+// in N(v)). Isolated nodes aggregate to zero. Large graphs aggregate with
+// output rows sharded across cores; h is only read.
 func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
 	out := tensor.NewMatrix(h.Rows, h.Cols)
-	for v, nbrs := range adj {
+	edges := 0
+	for _, nbrs := range adj {
+		edges += len(nbrs)
+	}
+	if edges*h.Cols >= aggParallelWork && runtime.GOMAXPROCS(0) > 1 {
+		tensor.ParallelRows(len(adj), func(lo, hi int) {
+			aggregateRows(out, h, adj[lo:hi], lo, agg)
+		})
+	} else {
+		aggregateRows(out, h, adj, 0, agg)
+	}
+	return out
+}
+
+func aggregateRows(out, h *tensor.Matrix, adj [][]int, base int, agg Aggregator) {
+	for dv, nbrs := range adj {
+		v := base + dv
 		if len(nbrs) == 0 {
 			continue
 		}
@@ -125,7 +149,6 @@ func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // aggregateT applies the transpose of the mean/sum aggregation operator,

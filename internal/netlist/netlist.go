@@ -77,6 +77,43 @@ type Netlist struct {
 	// Groups lists hierarchical group names present (for report_hierarchy
 	// and for the ungroup command).
 	Groups map[string]int // group -> cell count
+
+	// Edit generations, for cached timing invalidation. gen advances on
+	// every timing-relevant edit; topoGen advances only on structural edits
+	// (connectivity changes), which force a full re-analysis rather than an
+	// incremental update. Delay-only edits (SetRef/Resize) advance gen alone.
+	gen     uint64
+	topoGen uint64
+}
+
+// Gen returns the edit generation: it advances on every timing-relevant
+// mutation, structural or delay-only.
+func (nl *Netlist) Gen() uint64 { return nl.gen }
+
+// TopoGen returns the structural edit generation: it advances only on
+// connectivity changes (cell/net insertion, removal, rewiring).
+func (nl *Netlist) TopoGen() uint64 { return nl.topoGen }
+
+// noteTopo records a structural edit.
+func (nl *Netlist) noteTopo() { nl.gen++; nl.topoGen++ }
+
+// noteDelay records a delay-only edit (a library-reference swap).
+func (nl *Netlist) noteDelay() { nl.gen++ }
+
+// NetIDBound returns an exclusive upper bound on Net.ID values, for callers
+// keeping slice-indexed per-net state.
+func (nl *Netlist) NetIDBound() int { return nl.nextNet }
+
+// CellIDBound returns an exclusive upper bound on Cell.ID values.
+func (nl *Netlist) CellIDBound() int { return nl.nextCell }
+
+// SetRef swaps a cell's library reference in place. Unlike Resize it does
+// not check kinds; it exists for the optimization passes, which only ever
+// swap between drive variants of one kind, and it records the edit as
+// delay-only so cached timing can update incrementally.
+func (nl *Netlist) SetRef(c *Cell, ref *liberty.Cell) {
+	c.Ref = ref
+	nl.noteDelay()
 }
 
 // New creates an empty netlist bound to a library.
@@ -92,6 +129,7 @@ func (nl *Netlist) NewNet(name string) *Net {
 	n := &Net{ID: nl.nextNet, Name: name}
 	nl.nextNet++
 	nl.Nets = append(nl.Nets, n)
+	nl.noteTopo()
 	return n
 }
 
@@ -127,6 +165,7 @@ func (nl *Netlist) AddCell(ref *liberty.Cell, group, module string, inputs ...*N
 	}
 	nl.Cells = append(nl.Cells, c)
 	nl.Groups[group]++
+	nl.noteTopo()
 	return c, nil
 }
 
@@ -138,6 +177,7 @@ func (nl *Netlist) SetInput(c *Cell, idx int, n *Net) {
 	}
 	c.Inputs[idx] = n
 	n.Sinks = append(n.Sinks, &Pin{Cell: c, Index: idx})
+	nl.noteTopo()
 }
 
 func (n *Net) removeSink(c *Cell, idx int) {
@@ -156,6 +196,7 @@ func (nl *Netlist) Resize(c *Cell, ref *liberty.Cell) error {
 		return fmt.Errorf("resize %s: kind %s != %s", c.Name, ref.Kind, c.Ref.Kind)
 	}
 	c.Ref = ref
+	nl.noteDelay()
 	return nil
 }
 
@@ -180,6 +221,7 @@ func (nl *Netlist) ReplaceCell(c *Cell, ref *liberty.Cell, inputs ...*Net) error
 	if !ref.Kind.IsSequential() {
 		c.Clock, c.Reset = nil, nil
 	}
+	nl.noteTopo()
 	return nil
 }
 
@@ -194,6 +236,7 @@ func (nl *Netlist) MoveOutput(c *Cell, n *Net) error {
 	}
 	c.Output = n
 	n.Driver = c
+	nl.noteTopo()
 	return nil
 }
 
@@ -209,6 +252,7 @@ func (nl *Netlist) RemoveCell(c *Cell) {
 		c.Output.Driver = nil
 	}
 	nl.Groups[c.Group]--
+	nl.noteTopo()
 	for i, cc := range nl.Cells {
 		if cc == c {
 			nl.Cells[i] = nl.Cells[len(nl.Cells)-1]
@@ -234,6 +278,7 @@ func (nl *Netlist) ReplaceNet(old, repl *Net) {
 			}
 		}
 	}
+	nl.noteTopo()
 }
 
 // Area returns total cell area in um^2.
@@ -279,6 +324,11 @@ func (nl *Netlist) Ungroup(prefix string) int {
 			nl.Groups[""]++
 			n++
 		}
+	}
+	if n > 0 {
+		// Group boundaries gate downstream restructuring; treat flattening
+		// as structural so cached timing is rebuilt conservatively.
+		nl.noteTopo()
 	}
 	return n
 }

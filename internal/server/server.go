@@ -33,6 +33,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
+	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
 	"repro/internal/workpool"
@@ -167,6 +168,17 @@ func New(cfg Config) (*Server, error) {
 	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
 		func() int64 { return int64(s.pool.Busy()) })
 	s.latency = s.reg.NewHistogram("chatlsd_customize_seconds", "end-to-end customize latency", metrics.DefaultLatencyBuckets)
+
+	// Timing-engine counters are process-wide (the sta package keeps them as
+	// plain atomics so it stays free of a metrics dependency); the daemon is
+	// the natural place to expose them.
+	s.reg.NewCounterFunc("sta_full_analyses_total", "full static timing analyses run",
+		func() int64 { return int64(sta.FullAnalyses()) })
+	s.reg.NewCounterFunc("sta_incremental_updates_total", "incremental timing updates run",
+		func() int64 { return int64(sta.IncrementalUpdates()) })
+	staDirty := s.reg.NewHistogram("sta_dirty_nodes", "nets and cells recomputed per incremental timing update",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384})
+	sta.SetDirtyNodesObserver(func(n int) { staDirty.Observe(float64(n)) })
 
 	return s, nil
 }

@@ -381,3 +381,35 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Errorf("requests_total = %v, want 20", n)
 	}
 }
+
+// TestSTAMetricsExposed checks that the timing engine's process-wide
+// counters ride along on /metrics: a customize request runs synthesis, so
+// full analyses must be non-zero and the dirty-node histogram present.
+func TestSTAMetricsExposed(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hr, body := postCustomize(t, ts.URL, `{"design":"riscv32i"}`)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("customize status %d: %s", hr.StatusCode, body)
+	}
+
+	if n := metricValue(t, ts.URL, "sta_full_analyses_total"); n <= 0 {
+		t.Errorf("sta_full_analyses_total = %v, want > 0", n)
+	}
+	// The counters are process-wide, so only presence (not a specific value)
+	// is asserted for the incremental side; the synthesis above exercises it.
+	if n := metricValue(t, ts.URL, "sta_incremental_updates_total"); n < 0 {
+		t.Errorf("sta_incremental_updates_total = %v, want >= 0", n)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(b, []byte("sta_dirty_nodes_count")) {
+		t.Error("sta_dirty_nodes histogram missing from /metrics exposition")
+	}
+}

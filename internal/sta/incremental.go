@@ -1,0 +1,273 @@
+package sta
+
+import (
+	"sync/atomic"
+
+	"repro/internal/netlist"
+)
+
+// Update refreshes timing after netlist edits. changed lists the cells whose
+// library reference was swapped (netlist.SetRef/Resize) since the last
+// analysis; arrivals are re-propagated only through their fanout cones and
+// required times only through the fanin cones of affected nets.
+//
+// Falls back to a full in-place re-analysis when the netlist topology
+// changed (buffering, restructuring, retiming, ungrouping), or when edits
+// happened that changed isn't accounting for. Because every recomputation
+// uses the same float operations in the same order as the full passes and
+// propagation stops on exact equality, the incremental result is
+// bit-identical to a fresh Analyze of the edited netlist.
+func (t *Timing) Update(changed []*netlist.Cell) error {
+	nl := t.NL
+	if nl.TopoGen() != t.topoGen {
+		return t.reanalyze()
+	}
+	if nl.Gen() == t.gen {
+		return nil
+	}
+	if len(changed) == 0 {
+		// Delay edits happened but the caller can't name them: recompute all.
+		return t.reanalyze()
+	}
+	incrementalUpdates.Add(1)
+	dirty := 0
+
+	// Forward: re-propagate arrivals through the fanout cones.
+	fh := cellHeap{pos: t.pos, cells: t.fheap[:0]}
+	pushCell := func(c *netlist.Cell) {
+		if !t.inFQ[c.ID] {
+			t.inFQ[c.ID] = true
+			fh.push(c)
+		}
+	}
+	// seedSource re-evaluates a PI- or flop-driven net whose load changed.
+	seedSource := func(n *netlist.Net) {
+		a, ok := t.sourceArrival(n)
+		if !ok {
+			return // constant or clock/reset: no arrival
+		}
+		dirty++
+		if a != t.arr[n.ID] {
+			t.arr[n.ID] = a
+			t.refreshEndsOnNet(n)
+			for _, p := range n.Sinks {
+				if !p.Cell.IsSeq() {
+					pushCell(p.Cell)
+				}
+			}
+		}
+	}
+	for _, c := range changed {
+		if c.IsSeq() {
+			// New Delay and Setup: output arrival and D-endpoint slack.
+			seedSource(c.Output)
+			t.refreshEndsOnNet(c.Inputs[0])
+		} else {
+			pushCell(c)
+		}
+		// The swap changed c's InputCap, so each input net's load — and
+		// with it the driving stage's delay — changed too.
+		for _, in := range c.Inputs {
+			if d := in.Driver; d != nil && !d.IsSeq() {
+				pushCell(d)
+			} else {
+				seedSource(in)
+			}
+		}
+	}
+	for fh.len() > 0 {
+		c := fh.pop()
+		t.inFQ[c.ID] = false
+		dirty++
+		a := t.cellArrival(c)
+		if a != t.arr[c.Output.ID] {
+			t.arr[c.Output.ID] = a
+			t.refreshEndsOnNet(c.Output)
+			for _, p := range c.Output.Sinks {
+				if !p.Cell.IsSeq() {
+					pushCell(p.Cell)
+				}
+			}
+		}
+	}
+	t.fheap = fh.cells[:0]
+
+	// Backward: re-propagate required times through the fanin cones. Nets
+	// are keyed by their driver's topological position and processed in
+	// decreasing order; PI-/flop-/const-driven nets (key -1) depend only on
+	// keyed nets and absorb changes without propagating further.
+	bh := netHeap{pos: t.pos, items: t.bheap[:0]}
+	pushNet := func(n *netlist.Net) {
+		if !t.inBQ[n.ID] {
+			t.inBQ[n.ID] = true
+			bh.push(n)
+		}
+	}
+	for _, c := range changed {
+		// req of c's inputs depends on c's stage delay (comb) or Setup
+		// (seq); req of the driver's other fanin depends on the driver's
+		// stage delay, which changed with c's InputCap.
+		for _, in := range c.Inputs {
+			pushNet(in)
+			if d := in.Driver; d != nil && !d.IsSeq() {
+				for _, in2 := range d.Inputs {
+					pushNet(in2)
+				}
+			}
+		}
+	}
+	for bh.len() > 0 {
+		n := bh.pop()
+		t.inBQ[n.ID] = false
+		dirty++
+		r := t.recomputeReq(n)
+		if r != t.req[n.ID] {
+			t.req[n.ID] = r
+			if d := n.Driver; d != nil && !d.IsSeq() {
+				for _, in := range d.Inputs {
+					pushNet(in)
+				}
+			}
+		}
+	}
+	t.bheap = bh.items[:0]
+
+	t.gen = nl.Gen()
+	observeDirty(dirty)
+	return nil
+}
+
+// cellHeap is a min-heap of combinational cells ordered by topological
+// position. Positions are unique, so keys never tie.
+type cellHeap struct {
+	pos   []int32
+	cells []*netlist.Cell
+}
+
+func (h *cellHeap) len() int { return len(h.cells) }
+
+func (h *cellHeap) push(c *netlist.Cell) {
+	h.cells = append(h.cells, c)
+	i := len(h.cells) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.pos[h.cells[p].ID] <= h.pos[h.cells[i].ID] {
+			break
+		}
+		h.cells[p], h.cells[i] = h.cells[i], h.cells[p]
+		i = p
+	}
+}
+
+func (h *cellHeap) pop() *netlist.Cell {
+	top := h.cells[0]
+	last := len(h.cells) - 1
+	h.cells[0] = h.cells[last]
+	h.cells = h.cells[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.pos[h.cells[l].ID] < h.pos[h.cells[m].ID] {
+			m = l
+		}
+		if r < last && h.pos[h.cells[r].ID] < h.pos[h.cells[m].ID] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.cells[i], h.cells[m] = h.cells[m], h.cells[i]
+		i = m
+	}
+	return top
+}
+
+type netItem struct {
+	key int32
+	n   *netlist.Net
+}
+
+// netHeap is a max-heap of nets ordered by driver position (-1 for nets
+// without a combinational driver). Nets sharing key -1 are mutually
+// independent, so their pop order does not matter.
+type netHeap struct {
+	pos   []int32
+	items []netItem
+}
+
+func (h *netHeap) len() int { return len(h.items) }
+
+func (h *netHeap) keyOf(n *netlist.Net) int32 {
+	if d := n.Driver; d != nil && !d.IsSeq() {
+		return h.pos[d.ID]
+	}
+	return -1
+}
+
+func (h *netHeap) push(n *netlist.Net) {
+	h.items = append(h.items, netItem{h.keyOf(n), n})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].key >= h.items[i].key {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *netHeap) pop() *netlist.Net {
+	top := h.items[0].n
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.items[l].key > h.items[m].key {
+			m = l
+		}
+		if r < last && h.items[r].key > h.items[m].key {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
+// ----------------------------------------------------------------------------
+// Analysis statistics, surfaced on the chatlsd /metrics endpoint. The package
+// keeps plain atomics and an observer hook so it stays free of a dependency
+// on internal/metrics.
+
+var (
+	fullAnalyses       atomic.Uint64
+	incrementalUpdates atomic.Uint64
+	dirtyObserver      atomic.Value // of func(int)
+)
+
+// FullAnalyses returns the number of full timing analyses run process-wide.
+func FullAnalyses() uint64 { return fullAnalyses.Load() }
+
+// IncrementalUpdates returns the number of incremental updates run
+// process-wide (excluding topology-change fallbacks, which count as full).
+func IncrementalUpdates() uint64 { return incrementalUpdates.Load() }
+
+// SetDirtyNodesObserver registers fn to be called with the dirty-node count
+// (nets recomputed) of every incremental update. Pass nil to unregister.
+func SetDirtyNodesObserver(fn func(int)) {
+	dirtyObserver.Store(fn)
+}
+
+func observeDirty(n int) {
+	if fn, _ := dirtyObserver.Load().(func(int)); fn != nil {
+		fn(n)
+	}
+}

@@ -1,0 +1,230 @@
+package sta_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/verilog"
+)
+
+var eqLib = liberty.Nangate45()
+
+func elaborate(t *testing.T, d *designs.Design) *netlist.Netlist {
+	t.Helper()
+	f, err := verilog.Parse(d.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", d.Name, err)
+	}
+	nl, err := netlist.Elaborate(f, d.Top, nil, eqLib)
+	if err != nil {
+		t.Fatalf("%s: elaborate: %v", d.Name, err)
+	}
+	return nl
+}
+
+// corpus is every design the repo ships: the Table IV benchmarks plus the
+// Table II database corpus. -short keeps a representative subset.
+func corpus(t *testing.T) []*designs.Design {
+	all := append(designs.Benchmarks(), designs.DatabaseDesigns()...)
+	if testing.Short() {
+		return all[:4]
+	}
+	return all
+}
+
+// closeEnough treats two slacks as equal within 1e-9, with infinities (an
+// unconstrained net in both analyses) matching exactly.
+func closeEnough(a, b float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= 1e-9
+}
+
+// requireEquivalent compares the incrementally maintained Timing against a
+// fresh full analysis: headline metrics and every net's slack.
+func requireEquivalent(t *testing.T, name string, inc *sta.Timing, nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraints) {
+	t.Helper()
+	full, err := sta.Analyze(nl, wl, cons)
+	if err != nil {
+		t.Fatalf("%s: full analyze: %v", name, err)
+	}
+	if !closeEnough(inc.WNS(), full.WNS()) {
+		t.Fatalf("%s: WNS incremental %v != full %v", name, inc.WNS(), full.WNS())
+	}
+	if !closeEnough(inc.TNS(), full.TNS()) {
+		t.Fatalf("%s: TNS incremental %v != full %v", name, inc.TNS(), full.TNS())
+	}
+	if !closeEnough(inc.CPS(), full.CPS()) {
+		t.Fatalf("%s: CPS incremental %v != full %v", name, inc.CPS(), full.CPS())
+	}
+	for _, n := range nl.Nets {
+		if is, fs := inc.Slack(n), full.Slack(n); !closeEnough(is, fs) {
+			t.Fatalf("%s: net %s slack incremental %v != full %v", name, n.Name, is, fs)
+		}
+	}
+}
+
+// resizeRandom flips a few random cells to a neighbouring drive strength and
+// returns the cells it changed.
+func resizeRandom(nl *netlist.Netlist, rng *rand.Rand, count int) []*netlist.Cell {
+	var changed []*netlist.Cell
+	for i := 0; i < count; i++ {
+		c := nl.Cells[rng.Intn(len(nl.Cells))]
+		var next *liberty.Cell
+		if rng.Intn(2) == 0 {
+			next = nl.Lib.Upsize(c.Ref)
+		} else {
+			next = nl.Lib.Downsize(c.Ref)
+		}
+		if next == nil || next == c.Ref {
+			continue
+		}
+		nl.SetRef(c, next)
+		changed = append(changed, c)
+	}
+	return changed
+}
+
+// insertBuffer splits a random multi-sink net with a buffer, moving one sink
+// behind it — a structural edit that must force the full-reanalysis
+// fallback. Reports false when the netlist has no splittable net.
+func insertBuffer(nl *netlist.Netlist, rng *rand.Rand) bool {
+	buf := nl.Lib.Strongest(liberty.KindBuf)
+	if buf == nil {
+		return false
+	}
+	start := rng.Intn(len(nl.Nets))
+	for i := 0; i < len(nl.Nets); i++ {
+		n := nl.Nets[(start+i)%len(nl.Nets)]
+		if n.IsClk || n.IsRst || n.Const || len(n.Sinks) < 2 {
+			continue
+		}
+		b, err := nl.AddCell(buf, "", nl.Name, n)
+		if err != nil {
+			return false
+		}
+		// Move the first sink that is not the buffer itself.
+		for _, p := range append([]*netlist.Pin(nil), n.Sinks...) {
+			if p.Cell != b {
+				nl.SetInput(p.Cell, p.Index, b.Output)
+				return true
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TestIncrementalMatchesFullAfterResizes drives Update through randomized
+// resize batches on every shipped design and checks the incremental state
+// stays equivalent to a from-scratch analysis after each batch.
+func TestIncrementalMatchesFullAfterResizes(t *testing.T) {
+	for _, d := range corpus(t) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			nl := elaborate(t, d)
+			wl := eqLib.WireLoad("")
+			cons := sta.Constraints{Period: d.Period}
+			tm, err := sta.Analyze(nl, wl, cons)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(d.Name)) * 7919))
+			for round := 0; round < 6; round++ {
+				changed := resizeRandom(nl, rng, 1+rng.Intn(8))
+				if err := tm.Update(changed); err != nil {
+					t.Fatalf("round %d: update: %v", round, err)
+				}
+				requireEquivalent(t, d.Name, tm, nl, wl, cons)
+			}
+		})
+	}
+}
+
+// TestIncrementalFallbackAfterStructuralEdits mixes resizes with buffer
+// insertions (topology changes). Update must detect the structural edits and
+// fall back to a full re-analysis that again matches a fresh one.
+func TestIncrementalFallbackAfterStructuralEdits(t *testing.T) {
+	for _, d := range corpus(t) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			nl := elaborate(t, d)
+			wl := eqLib.WireLoad("")
+			cons := sta.Constraints{Period: d.Period}
+			tm, err := sta.Analyze(nl, wl, cons)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(d.Source))))
+			for round := 0; round < 4; round++ {
+				changed := resizeRandom(nl, rng, 1+rng.Intn(4))
+				if round%2 == 0 {
+					insertBuffer(nl, rng)
+				}
+				if err := tm.Update(changed); err != nil {
+					t.Fatalf("round %d: update: %v", round, err)
+				}
+				requireEquivalent(t, d.Name, tm, nl, wl, cons)
+			}
+		})
+	}
+}
+
+// TestUpdateIsNoOpWithoutEdits checks the generation guard: with no edits
+// between calls, Update must not run another full analysis.
+func TestUpdateIsNoOpWithoutEdits(t *testing.T) {
+	d := designs.RiscV32i()
+	nl := elaborate(t, d)
+	tm, err := sta.Analyze(nl, eqLib.WireLoad(""), sta.Constraints{Period: d.Period})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	before := sta.FullAnalyses()
+	for i := 0; i < 3; i++ {
+		if err := tm.Update(nil); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+	}
+	if after := sta.FullAnalyses(); after != before {
+		t.Errorf("no-op Update ran %d full analyses", after-before)
+	}
+}
+
+// TestIncrementalCountersAndObserver checks the process-wide counters move
+// and the dirty-node observer fires with a sane magnitude.
+func TestIncrementalCountersAndObserver(t *testing.T) {
+	d := designs.RiscV32i()
+	nl := elaborate(t, d)
+	tm, err := sta.Analyze(nl, eqLib.WireLoad(""), sta.Constraints{Period: d.Period})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var observed []int
+	sta.SetDirtyNodesObserver(func(n int) { observed = append(observed, n) })
+	defer sta.SetDirtyNodesObserver(nil)
+
+	rng := rand.New(rand.NewSource(11))
+	incBefore := sta.IncrementalUpdates()
+	changed := resizeRandom(nl, rng, 3)
+	if len(changed) == 0 {
+		t.Fatal("resizeRandom changed nothing")
+	}
+	if err := tm.Update(changed); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if got := sta.IncrementalUpdates() - incBefore; got != 1 {
+		t.Errorf("incremental updates = %d, want 1", got)
+	}
+	if len(observed) != 1 {
+		t.Fatalf("observer fired %d times, want 1", len(observed))
+	}
+	if observed[0] <= 0 || observed[0] > 2*(len(nl.Nets)+len(nl.Cells)) {
+		t.Errorf("dirty nodes = %d out of plausible range", observed[0])
+	}
+}

@@ -4,6 +4,12 @@
 // worst negative slack (WNS), critical path slack (CPS), and total negative
 // slack (TNS) — along with per-endpoint slacks and critical-path traces
 // used by the optimizer and by report_timing.
+//
+// Analysis state is slice-indexed by Net.ID/Cell.ID rather than keyed by
+// pointer maps, and a Timing can be kept alive across netlist edits: after
+// delay-only edits (cell resizing) Update re-propagates only the affected
+// fanout/fanin cones, falling back to a full re-analysis when the topology
+// changed. See DESIGN.md "Performance".
 package sta
 
 import (
@@ -32,21 +38,39 @@ const DefaultOutputLoad = 0.004
 // pays off the way it does in a real flow.
 const DefaultInputDriveRes = 6.0
 
-// Timing holds the results of one STA run.
+// Timing holds the results of one STA run and the state needed to refresh
+// them incrementally.
 type Timing struct {
-	NL     *netlist.Netlist
-	WL     *liberty.WireLoad
-	Cons   Constraints
-	arr    map[*netlist.Net]float64
-	req    map[*netlist.Net]float64
-	order  []*netlist.Cell // combinational cells in topological order
-	ends   []Endpoint
+	NL   *netlist.Netlist
+	WL   *liberty.WireLoad
+	Cons Constraints
+
+	arr   []float64       // by Net.ID; NaN = no arrival recorded
+	req   []float64       // by Net.ID; +Inf = unconstrained
+	pos   []int32         // by Cell.ID; topological position, -1 = sequential
+	order []*netlist.Cell // combinational cells in topological order
+
+	ends       []Endpoint
+	endHead    []int32 // by Net.ID; first endpoint index on that net, -1 = none
+	endNext    []int32 // by endpoint index; next endpoint on the same net
+	endsSorted bool
+
+	// Worklist scratch, reused across Update calls. The visited flags are
+	// always all-false between calls (cleared as items pop).
+	fheap []*netlist.Cell
+	bheap []netItem
+	inFQ  []bool // by Cell.ID: cell is queued forward
+	inBQ  []bool // by Net.ID: net is queued backward
+
+	// Netlist edit generations this Timing reflects.
+	gen     uint64
+	topoGen uint64
 }
 
 // Endpoint is a timing path endpoint: a flip-flop D pin or a primary output.
 type Endpoint struct {
 	Name    string
-	Net     *netlist.Net // the net arriving at the endpoint
+	Net     *netlist.Net  // the net arriving at the endpoint
 	Cell    *netlist.Cell // nil for primary outputs
 	Arrival float64
 	Slack   float64
@@ -61,20 +85,57 @@ func Analyze(nl *netlist.Netlist, wl *liberty.WireLoad, cons Constraints) (*Timi
 	if cons.InputDriveRes == 0 {
 		cons.InputDriveRes = DefaultInputDriveRes
 	}
-	t := &Timing{
-		NL:   nl,
-		WL:   wl,
-		Cons: cons,
-		arr:  make(map[*netlist.Net]float64, len(nl.Nets)),
-		req:  make(map[*netlist.Net]float64, len(nl.Nets)),
-	}
-	if err := t.levelize(); err != nil {
+	t := &Timing{NL: nl, WL: wl, Cons: cons}
+	if err := t.reanalyze(); err != nil {
 		return nil, err
+	}
+	return t, nil
+}
+
+// reanalyze rebuilds all timing state in place, reusing buffers.
+func (t *Timing) reanalyze() error {
+	fullAnalyses.Add(1)
+	nNets := t.NL.NetIDBound()
+	nCells := t.NL.CellIDBound()
+	t.arr = growFloats(t.arr, nNets)
+	t.req = growFloats(t.req, nNets)
+	t.pos = growInt32s(t.pos, nCells)
+	t.inFQ = growBools(t.inFQ, nCells)
+	t.inBQ = growBools(t.inBQ, nNets)
+	if err := t.levelize(); err != nil {
+		return err
 	}
 	t.forward()
 	t.backward()
 	t.collectEndpoints()
-	return t, nil
+	t.gen = t.NL.Gen()
+	t.topoGen = t.NL.TopoGen()
+	return nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // LoadCap returns the total capacitive load on a net: sink pin caps, the
@@ -103,45 +164,51 @@ func (t *Timing) stageDelay(c *netlist.Cell) float64 {
 }
 
 // levelize topologically orders combinational cells; sequential cells are
-// timing sources and sinks, not ordered.
+// timing sources and sinks, not ordered. It also records each cell's
+// topological position for the incremental worklists.
 func (t *Timing) levelize() error {
-	indeg := make(map[*netlist.Cell]int)
+	indeg := make([]int32, t.NL.CellIDBound())
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+	comb := 0
 	var ready []*netlist.Cell
 	for _, c := range t.NL.Cells {
 		if c.IsSeq() {
 			continue
 		}
-		deps := 0
+		comb++
+		deps := int32(0)
 		for _, in := range c.Inputs {
 			if in.Driver != nil && !in.Driver.IsSeq() {
 				deps++
 			}
 		}
-		indeg[c] = deps
+		indeg[c.ID] = deps
 		if deps == 0 {
 			ready = append(ready, c)
 		}
 	}
 	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
-	order := make([]*netlist.Cell, 0, len(indeg))
-	for len(ready) > 0 {
-		c := ready[0]
-		ready = ready[1:]
+	order := t.order[:0]
+	for head := 0; head < len(ready); head++ {
+		c := ready[head]
+		t.pos[c.ID] = int32(len(order))
 		order = append(order, c)
 		for _, p := range c.Output.Sinks {
 			s := p.Cell
 			if s.IsSeq() {
 				continue
 			}
-			indeg[s]--
-			if indeg[s] == 0 {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
 				ready = append(ready, s)
 			}
 		}
 	}
-	if len(order) != len(indeg) {
-		for c, d := range indeg {
-			if d > 0 {
+	if len(order) != comb {
+		for _, c := range t.NL.Cells {
+			if !c.IsSeq() && indeg[c.ID] > 0 {
 				return fmt.Errorf("combinational loop detected through cell %s (%s)", c.Name, c.Ref.Name)
 			}
 		}
@@ -150,26 +217,53 @@ func (t *Timing) levelize() error {
 	return nil
 }
 
+// sourceArrival computes the arrival of a net driven by a primary input or a
+// sequential cell; ok is false for nets with no arrival (constants, clocks).
+func (t *Timing) sourceArrival(n *netlist.Net) (float64, bool) {
+	if d := n.Driver; d != nil {
+		if d.IsSeq() {
+			return d.Ref.Delay(t.LoadCap(n)) + t.wireDelay(n), true
+		}
+		return 0, false // combinational output: computed in topological order
+	}
+	if n.PI && !n.IsClk && !n.IsRst {
+		return t.Cons.InputDelay + t.Cons.InputDriveRes*t.LoadCap(n) + t.wireDelay(n), true
+	}
+	return 0, false
+}
+
+// cellArrival computes the output arrival of a combinational cell from its
+// inputs' current arrivals.
+func (t *Timing) cellArrival(c *netlist.Cell) float64 {
+	worst := 0.0
+	for _, in := range c.Inputs {
+		if a := t.arr[in.ID]; a > worst { // NaN compares false
+			worst = a
+		}
+	}
+	return worst + t.stageDelay(c)
+}
+
 func (t *Timing) forward() {
+	nan := math.NaN()
+	for i := range t.arr {
+		t.arr[i] = nan
+	}
 	// Sources. Primary inputs arrive after their external driver charges
 	// the net's load.
 	for _, n := range t.NL.Inputs {
-		t.arr[n] = t.Cons.InputDelay + t.Cons.InputDriveRes*t.LoadCap(n) + t.wireDelay(n)
+		if a, ok := t.sourceArrival(n); ok {
+			t.arr[n.ID] = a
+		}
 	}
 	for _, c := range t.NL.Cells {
 		if c.IsSeq() {
-			t.arr[c.Output] = c.Ref.Delay(t.LoadCap(c.Output)) + t.wireDelay(c.Output)
+			t.arr[c.Output.ID] = c.Ref.Delay(t.LoadCap(c.Output)) + t.wireDelay(c.Output)
 		}
 	}
 	// Propagate through combinational cells.
 	for _, c := range t.order {
-		worst := 0.0
-		for _, in := range c.Inputs {
-			if a, ok := t.arr[in]; ok && a > worst {
-				worst = a
-			}
-		}
-		t.arr[c.Output] = worst + t.stageDelay(c)
+		t.arr[c.Output.ID] = t.cellArrival(c)
 	}
 }
 
@@ -180,10 +274,36 @@ func (t *Timing) wireDelay(n *netlist.Net) float64 {
 	return t.WL.Res * t.WL.Cap(n.Fanout())
 }
 
+// recomputeReq computes a net's required time from its consumers' current
+// state. min() is order-independent, so the result is bit-identical to what
+// the full backward pass produces for the same inputs.
+func (t *Timing) recomputeReq(n *netlist.Net) float64 {
+	r := math.Inf(1)
+	for _, p := range n.Sinks {
+		s := p.Cell
+		if s.IsSeq() {
+			// Sink pins always index into Inputs, so this is the D pin.
+			if v := t.Cons.Period - s.Ref.Setup; v < r {
+				r = v
+			}
+			continue
+		}
+		if v := t.req[s.Output.ID] - t.stageDelay(s); v < r {
+			r = v
+		}
+	}
+	if n.PO {
+		if v := t.Cons.Period - t.Cons.OutputDelay; v < r {
+			r = v
+		}
+	}
+	return r
+}
+
 func (t *Timing) backward() {
 	inf := math.Inf(1)
-	for _, n := range t.NL.Nets {
-		t.req[n] = inf
+	for i := range t.req {
+		t.req[i] = inf
 	}
 	// Endpoint required times.
 	for _, c := range t.NL.Cells {
@@ -192,53 +312,99 @@ func (t *Timing) backward() {
 		}
 		d := c.Inputs[0]
 		r := t.Cons.Period - c.Ref.Setup
-		if r < t.req[d] {
-			t.req[d] = r
+		if r < t.req[d.ID] {
+			t.req[d.ID] = r
 		}
 	}
 	for _, o := range t.NL.Outputs {
 		r := t.Cons.Period - t.Cons.OutputDelay
-		if r < t.req[o] {
-			t.req[o] = r
+		if r < t.req[o.ID] {
+			t.req[o.ID] = r
 		}
 	}
 	// Propagate backward through combinational cells.
 	for i := len(t.order) - 1; i >= 0; i-- {
 		c := t.order[i]
-		r := t.req[c.Output] - t.stageDelay(c)
+		r := t.req[c.Output.ID] - t.stageDelay(c)
 		for _, in := range c.Inputs {
-			if r < t.req[in] {
-				t.req[in] = r
+			if r < t.req[in.ID] {
+				t.req[in.ID] = r
 			}
 		}
 	}
 }
 
 func (t *Timing) collectEndpoints() {
+	t.ends = t.ends[:0]
 	for _, c := range t.NL.Cells {
 		if !c.IsSeq() {
 			continue
 		}
 		d := c.Inputs[0]
-		arr := t.arr[d]
-		slack := t.Cons.Period - c.Ref.Setup - arr
+		arr := t.Arrival(d)
 		t.ends = append(t.ends, Endpoint{
 			Name:    c.Name + "/D",
 			Net:     d,
 			Cell:    c,
 			Arrival: arr,
-			Slack:   slack,
+			Slack:   t.Cons.Period - c.Ref.Setup - arr,
 		})
 	}
 	for _, o := range t.NL.Outputs {
-		arr := t.arr[o]
-		slack := t.Cons.Period - t.Cons.OutputDelay - arr
+		arr := t.Arrival(o)
 		t.ends = append(t.ends, Endpoint{
 			Name:    o.Name,
 			Net:     o,
 			Arrival: arr,
-			Slack:   slack,
+			Slack:   t.Cons.Period - t.Cons.OutputDelay - arr,
 		})
+	}
+	t.endsSorted = false
+	t.rebuildEndChains()
+}
+
+// rebuildEndChains indexes endpoints by net so incremental updates can
+// refresh only the endpoints whose arrival changed. A net can carry several
+// endpoints (a D pin shared by multiple flops, a PO that also feeds a flop).
+func (t *Timing) rebuildEndChains() {
+	t.endHead = growInt32s(t.endHead, t.NL.NetIDBound())
+	for i := range t.endHead {
+		t.endHead[i] = -1
+	}
+	if cap(t.endNext) < len(t.ends) {
+		t.endNext = make([]int32, len(t.ends))
+	} else {
+		t.endNext = t.endNext[:len(t.ends)]
+	}
+	for i := range t.ends {
+		id := t.ends[i].Net.ID
+		t.endNext[i] = t.endHead[id]
+		t.endHead[id] = int32(i)
+	}
+}
+
+// refreshEndsOnNet recomputes arrival and slack of every endpoint on net n.
+func (t *Timing) refreshEndsOnNet(n *netlist.Net) {
+	i := t.endHead[n.ID]
+	if i < 0 {
+		return
+	}
+	arr := t.Arrival(n)
+	for ; i >= 0; i = t.endNext[i] {
+		e := &t.ends[i]
+		e.Arrival = arr
+		if e.Cell != nil {
+			e.Slack = t.Cons.Period - e.Cell.Ref.Setup - arr
+		} else {
+			e.Slack = t.Cons.Period - t.Cons.OutputDelay - arr
+		}
+	}
+	t.endsSorted = false
+}
+
+func (t *Timing) ensureSorted() {
+	if t.endsSorted {
+		return
 	}
 	sort.Slice(t.ends, func(i, j int) bool {
 		if t.ends[i].Slack != t.ends[j].Slack {
@@ -246,10 +412,15 @@ func (t *Timing) collectEndpoints() {
 		}
 		return t.ends[i].Name < t.ends[j].Name
 	})
+	t.rebuildEndChains()
+	t.endsSorted = true
 }
 
 // Endpoints returns all endpoints sorted worst-slack first.
-func (t *Timing) Endpoints() []Endpoint { return t.ends }
+func (t *Timing) Endpoints() []Endpoint {
+	t.ensureSorted()
+	return t.ends
+}
 
 // CPS is the critical path slack: the slack of the single worst path,
 // positive when the design meets timing with margin.
@@ -257,7 +428,16 @@ func (t *Timing) CPS() float64 {
 	if len(t.ends) == 0 {
 		return t.Cons.Period
 	}
-	return t.ends[0].Slack
+	if t.endsSorted {
+		return t.ends[0].Slack
+	}
+	worst := math.Inf(1)
+	for i := range t.ends {
+		if t.ends[i].Slack < worst {
+			worst = t.ends[i].Slack
+		}
+	}
+	return worst
 }
 
 // WNS is the worst negative slack: min(0, CPS).
@@ -272,23 +452,31 @@ func (t *Timing) WNS() float64 {
 // TNS is the total negative slack summed over violating endpoints.
 func (t *Timing) TNS() float64 {
 	var tns float64
-	for _, e := range t.ends {
-		if e.Slack < 0 {
-			tns += e.Slack
+	for i := range t.ends {
+		if t.ends[i].Slack < 0 {
+			tns += t.ends[i].Slack
 		}
 	}
 	return tns
 }
 
 // Arrival returns the arrival time at a net (0 for unknown nets).
-func (t *Timing) Arrival(n *netlist.Net) float64 { return t.arr[n] }
+func (t *Timing) Arrival(n *netlist.Net) float64 {
+	if n.ID >= len(t.arr) {
+		return 0
+	}
+	if a := t.arr[n.ID]; !math.IsNaN(a) {
+		return a
+	}
+	return 0
+}
 
 // Required returns the required time at a net (+Inf when unconstrained).
 func (t *Timing) Required(n *netlist.Net) float64 {
-	if r, ok := t.req[n]; ok {
-		return r
+	if n.ID >= len(t.req) {
+		return math.Inf(1)
 	}
-	return math.Inf(1)
+	return t.req[n.ID]
 }
 
 // Slack returns required - arrival at a net.
@@ -312,6 +500,7 @@ type Path struct {
 
 // CriticalPath traces the single worst path in the design.
 func (t *Timing) CriticalPath() Path {
+	t.ensureSorted()
 	if len(t.ends) == 0 {
 		return Path{}
 	}
@@ -327,10 +516,10 @@ func (t *Timing) TracePath(end Endpoint) Path {
 		c := n.Driver
 		if c == nil {
 			p.Startpoint = n.Name
-			rev = append(rev, PathStep{Net: n, Arrival: t.arr[n]})
+			rev = append(rev, PathStep{Net: n, Arrival: t.Arrival(n)})
 			break
 		}
-		rev = append(rev, PathStep{Cell: c, Net: n, Incr: t.stageDelay(c), Arrival: t.arr[n]})
+		rev = append(rev, PathStep{Cell: c, Net: n, Incr: t.stageDelay(c), Arrival: t.Arrival(n)})
 		if c.IsSeq() {
 			p.Startpoint = c.Name + "/CK"
 			break
@@ -339,7 +528,7 @@ func (t *Timing) TracePath(end Endpoint) Path {
 		var worstIn *netlist.Net
 		worstArr := math.Inf(-1)
 		for _, in := range c.Inputs {
-			a := t.arr[in]
+			a := t.Arrival(in)
 			if a > worstArr || (a == worstArr && worstIn != nil && in.ID < worstIn.ID) {
 				worstArr = a
 				worstIn = in
@@ -348,6 +537,7 @@ func (t *Timing) TracePath(end Endpoint) Path {
 		n = worstIn
 	}
 	// Reverse into source-to-sink order.
+	p.Steps = make([]PathStep, 0, len(rev))
 	for i := len(rev) - 1; i >= 0; i-- {
 		p.Steps = append(p.Steps, rev[i])
 	}
@@ -356,6 +546,7 @@ func (t *Timing) TracePath(end Endpoint) Path {
 
 // WorstPaths returns up to n paths, one per worst endpoint.
 func (t *Timing) WorstPaths(n int) []Path {
+	t.ensureSorted()
 	if n > len(t.ends) {
 		n = len(t.ends)
 	}
@@ -366,15 +557,13 @@ func (t *Timing) WorstPaths(n int) []Path {
 	return paths
 }
 
-// CriticalCells returns the set of cells lying on paths with slack below
-// the threshold, for the optimizer to focus on.
+// CriticalCells returns the cells lying on paths with slack below the
+// threshold, for the optimizer to focus on. The topological order contains
+// each cell once, so no dedup set is needed.
 func (t *Timing) CriticalCells(slackBelow float64) []*netlist.Cell {
-	var out []*netlist.Cell
-	seen := make(map[*netlist.Cell]bool)
+	out := make([]*netlist.Cell, 0, 64)
 	for _, c := range t.order {
-		s := t.Slack(c.Output)
-		if s < slackBelow && !seen[c] {
-			seen[c] = true
+		if t.Slack(c.Output) < slackBelow {
 			out = append(out, c)
 		}
 	}

@@ -18,14 +18,35 @@ type Design struct {
 	MaxArea   float64 // 0 = unconstrained
 	Compiled  bool
 	ClockPort string
+
+	// Cached timing, refreshed via sta's generation tracking: report and
+	// optimization commands between edits share one analysis, delay-only
+	// edits refresh it incrementally, structural edits rebuild it in place.
+	tm     *sta.Timing
+	tmCons sta.Constraints // constraints the cache was built under
 }
 
-// Timing runs STA with the design's current constraints.
+// Timing returns STA results for the design's current constraints. The
+// analysis is cached across calls; netlist edits are picked up through the
+// netlist's edit generations, constraint changes force a fresh analysis.
 func (d *Design) Timing() (*sta.Timing, error) {
 	if d.Cons.Period <= 0 {
 		return nil, fmt.Errorf("no clock constraint: run create_clock first")
 	}
-	return sta.Analyze(d.NL, d.WL, d.Cons)
+	if d.tm != nil && d.tm.NL == d.NL && d.tm.WL == d.WL && d.tmCons == d.Cons {
+		if err := d.tm.Update(nil); err != nil {
+			d.tm = nil
+			return nil, err
+		}
+		return d.tm, nil
+	}
+	tm, err := sta.Analyze(d.NL, d.WL, d.Cons)
+	if err != nil {
+		d.tm = nil
+		return nil, err
+	}
+	d.tm, d.tmCons = tm, d.Cons
+	return tm, nil
 }
 
 // QoR summarizes quality of results: the metrics in the paper's Tables III
@@ -140,8 +161,17 @@ func Compile(d *Design, opts CompileOptions) error {
 		BufferHighFanout(d.NL, d.MaxFanout)
 	}
 
-	if opts.Retime {
-		Retime(d.NL, d.WL, d.Cons, 4000)
+	// One shared timing analysis drives the remaining passes; each refreshes
+	// it incrementally (sizing) or rebuilds it in place (retiming). A nil tm
+	// means the netlist has a combinational loop — the timing passes would
+	// each have bailed out individually, so skip them as a group.
+	tm, tmErr := d.Timing()
+	if tmErr != nil {
+		tm = nil
+	}
+
+	if opts.Retime && tm != nil {
+		RetimeWith(tm, 4000)
 	}
 
 	// Effort controls how hard sizing works: iterations, the strongest
@@ -158,7 +188,9 @@ func Compile(d *Design, opts CompileOptions) error {
 		so.MaxIters += 12
 		so.TargetSlack = 0.10 * d.Cons.Period
 	}
-	SizeForTimingOpt(d.NL, d.WL, d.Cons, so)
+	if tm != nil {
+		SizeForTimingWith(tm, so)
+	}
 
 	areaMargin := -1.0 // skip
 	switch {
@@ -171,10 +203,10 @@ func Compile(d *Design, opts CompileOptions) error {
 	case opts.AreaEffort == EffortMedium || effort >= EffortMedium:
 		areaMargin = 0.30
 	}
-	if areaMargin >= 0 {
-		AreaRecovery(d.NL, d.WL, d.Cons, areaMargin)
+	if areaMargin >= 0 && tm != nil {
+		AreaRecoveryWith(tm, areaMargin)
 		if opts.AreaHighEffort {
-			AreaRecovery(d.NL, d.WL, d.Cons, areaMargin)
+			AreaRecoveryWith(tm, areaMargin)
 		}
 	}
 

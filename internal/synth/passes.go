@@ -419,26 +419,40 @@ func SizeForTiming(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constrain
 // upstream penalty of its increased input capacitance by at least MinGain;
 // a regressing iteration is rolled back and ends the pass.
 func SizeForTimingOpt(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraints, o SizeOptions) int {
+	tm, err := sta.Analyze(nl, wl, cons)
+	if err != nil {
+		return 0
+	}
+	return SizeForTimingWith(tm, o)
+}
+
+// SizeForTimingWith is SizeForTimingOpt against an existing, current Timing,
+// refreshed incrementally after each batch of resizes instead of re-analyzed
+// from scratch.
+func SizeForTimingWith(tm *sta.Timing, o SizeOptions) int {
+	if err := tm.Update(nil); err != nil {
+		return 0
+	}
+	nl := tm.NL
 	targetSlack, maxIters := o.TargetSlack, o.MaxIters
 	minGain := o.MinGain
 	if minGain <= 0 {
 		minGain = 1e-5
 	}
 	resized := 0
+	type change struct {
+		cell *netlist.Cell
+		old  *liberty.Cell
+	}
+	var changes []change
+	var changedCells []*netlist.Cell
 	for iter := 0; iter < maxIters; iter++ {
-		tm, err := sta.Analyze(nl, wl, cons)
-		if err != nil {
-			return resized
-		}
 		if tm.CPS() >= targetSlack {
 			return resized
 		}
 		prevCPS, prevTNS := tm.CPS(), tm.TNS()
-		type change struct {
-			cell *netlist.Cell
-			old  *liberty.Cell
-		}
-		var changes []change
+		changes = changes[:0]
+		changedCells = changedCells[:0]
 		// Candidates: every cell below the slack target, so all violating
 		// cones improve together instead of whack-a-mole on a few paths.
 		for _, c := range nl.Cells {
@@ -469,18 +483,22 @@ func SizeForTimingOpt(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constr
 				continue
 			}
 			changes = append(changes, change{c, c.Ref})
-			c.Ref = up
+			changedCells = append(changedCells, c)
+			nl.SetRef(c, up)
 		}
 		if len(changes) == 0 {
 			return resized
 		}
-		tm2, err := sta.Analyze(nl, wl, cons)
-		improved := err == nil && (tm2.CPS() > prevCPS+1e-9 ||
-			(tm2.TNS() > prevTNS+1e-9 && tm2.CPS() >= prevCPS-1e-9))
+		if err := tm.Update(changedCells); err != nil {
+			return resized
+		}
+		improved := tm.CPS() > prevCPS+1e-9 ||
+			(tm.TNS() > prevTNS+1e-9 && tm.CPS() >= prevCPS-1e-9)
 		if !improved {
 			for _, ch := range changes {
-				ch.cell.Ref = ch.old
+				nl.SetRef(ch.cell, ch.old)
 			}
+			tm.Update(changedCells)
 			return resized
 		}
 		resized += len(changes)
@@ -495,12 +513,23 @@ func AreaRecovery(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraint
 	if err != nil {
 		return 0
 	}
+	return AreaRecoveryWith(tm, margin)
+}
+
+// AreaRecoveryWith is AreaRecovery against an existing, current Timing,
+// refreshed incrementally instead of re-analyzed.
+func AreaRecoveryWith(tm *sta.Timing, margin float64) int {
+	if err := tm.Update(nil); err != nil {
+		return 0
+	}
+	nl := tm.NL
 	baseWNS := tm.WNS()
 	type change struct {
 		cell *netlist.Cell
 		old  *liberty.Cell
 	}
 	var changes []change
+	var changedCells []*netlist.Cell
 	cells := append([]*netlist.Cell(nil), nl.Cells...)
 	sort.Slice(cells, func(i, j int) bool { return cells[i].ID < cells[j].ID })
 	for _, c := range cells {
@@ -521,16 +550,17 @@ func AreaRecovery(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraint
 			continue
 		}
 		changes = append(changes, change{c, c.Ref})
-		c.Ref = down
+		changedCells = append(changedCells, c)
+		nl.SetRef(c, down)
 	}
 	if len(changes) == 0 {
 		return 0
 	}
-	tm2, err := sta.Analyze(nl, wl, cons)
-	if err != nil || tm2.WNS() < baseWNS-1e-9 {
+	if err := tm.Update(changedCells); err != nil || tm.WNS() < baseWNS-1e-9 {
 		for _, ch := range changes {
-			ch.cell.Ref = ch.old
+			nl.SetRef(ch.cell, ch.old)
 		}
+		tm.Update(changedCells)
 		return 0
 	}
 	return len(changes)

@@ -16,12 +16,23 @@ import (
 // where retiming beats buffer balancing — and it does nothing for designs
 // whose stages are already balanced.
 func Retime(nl *netlist.Netlist, wl *liberty.WireLoad, cons sta.Constraints, maxMoves int) int {
+	tm, err := sta.Analyze(nl, wl, cons)
+	if err != nil {
+		return 0
+	}
+	return RetimeWith(tm, maxMoves)
+}
+
+// RetimeWith is Retime against an existing, current Timing. Register moves
+// change the topology, so each sweep triggers the timer's full-reanalysis
+// fallback — but in place, reusing the analysis buffers.
+func RetimeWith(tm *sta.Timing, maxMoves int) int {
+	nl := tm.NL
 	const margin = 0.02
 	moves := 0
 	prevWNS := math.Inf(-1)
 	for moves < maxMoves {
-		tm, err := sta.Analyze(nl, wl, cons)
-		if err != nil {
+		if err := tm.Update(nil); err != nil {
 			return moves
 		}
 		if tm.WNS() >= 0 {

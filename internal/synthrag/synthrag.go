@@ -20,6 +20,7 @@ package synthrag
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -34,6 +35,7 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/textembed"
 	"repro/internal/vecindex"
+	"repro/internal/workpool"
 )
 
 // StrategyPalette is the set of optimization plans the database designs are
@@ -96,6 +98,12 @@ type BuildConfig struct {
 	// IndexOnly designs join metric training and the module index but get
 	// no expert-script synthesis (default: designs.TrainingVariants).
 	IndexOnly []*designs.Design
+	// Workers bounds the per-design fan-out of the build's parallel phases
+	// (graph construction, embedding, expert-draft synthesis). 0 means
+	// GOMAXPROCS, 1 forces the serial path. The built database is identical
+	// for any worker count: per-design work is independent and results are
+	// assembled in corpus order.
+	Workers int
 }
 
 // Build constructs the database: trains CircuitMentor with metric learning
@@ -130,27 +138,43 @@ func Build(cfg BuildConfig) (*Database, error) {
 		lib:        cfg.Lib,
 	}
 
-	// Parse corpus designs into graphs.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Parse corpus designs into graphs, fanned out per design; graphs land
+	// at their corpus index, so downstream order is worker-count-independent.
 	type entry struct {
 		d  *designs.Design
 		dg *circuitmentor.DesignGraph
 	}
-	var entries []entry
-	var samples []circuitmentor.TrainSample
-	for _, d := range corpus {
+	entries := make([]entry, len(corpus))
+	buildErrs := make([]error, len(corpus))
+	workpool.Run(workers, len(corpus), func(i int) {
+		d := corpus[i]
 		dg, err := circuitmentor.BuildGraph(d.Source, d.Top)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", d.Name, err)
+			buildErrs[i] = fmt.Errorf("%s: %v", d.Name, err)
+			return
 		}
-		entries = append(entries, entry{d, dg})
-		labels := make([]string, len(dg.Modules))
-		for i, mi := range dg.Modules {
+		entries[i] = entry{d, dg}
+	})
+	for _, err := range buildErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	samples := make([]circuitmentor.TrainSample, len(entries))
+	for ei, e := range entries {
+		labels := make([]string, len(e.dg.Modules))
+		for i, mi := range e.dg.Modules {
 			labels[i] = designs.ModuleCategory(mi.Name)
 			if labels[i] == "" {
-				labels[i] = d.Category
+				labels[i] = e.d.Category
 			}
 		}
-		samples = append(samples, circuitmentor.TrainSample{DG: dg, Labels: labels})
+		samples[ei] = circuitmentor.TrainSample{DG: e.dg, Labels: labels}
 	}
 
 	// Metric learning (Fig. 4): same-category modules cluster.
@@ -162,21 +186,42 @@ func Build(cfg BuildConfig) (*Database, error) {
 		}
 	}
 
-	// Index embeddings and graphs; synthesize expert strategies.
+	// Embed and synthesize expert strategies per design in parallel — the
+	// trained model is only read from here on, and each palette run uses its
+	// own synthesis session. Indexes and the graph store are then assembled
+	// serially in corpus order, keeping the database bit-identical to a
+	// serial build.
+	type built struct {
+		global  []float64
+		modEmbs [][]float64
+		best    paletteResult
+		err     error
+	}
+	results := make([]built, len(entries))
+	workpool.Run(workers, len(entries), func(i int) {
+		e := entries[i]
+		r := &results[i]
+		r.global = db.Mentor.EmbedGlobal(e.dg)
+		r.modEmbs = db.Mentor.EmbedModules(e.dg)
+		if !cfg.SkipSynth && !isIndexOnly[e.d.Name] {
+			r.best, r.err = bestStrategy(e.d, cfg.Lib)
+		}
+	})
+
 	dim := db.Mentor.Model.Config().OutDim
 	db.globalIndex = vecindex.NewFlat(dim, vecindex.Cosine)
 	db.moduleIndex = vecindex.NewFlat(dim, vecindex.Cosine)
 	for ei, e := range entries {
+		r := results[ei]
 		circuitmentor.LoadIntoDB(db.Graph, e.dg, map[string]any{
 			"name":     e.d.Name,
 			"category": e.d.Category,
 			"period":   e.d.Period,
 		})
-		global := db.Mentor.EmbedGlobal(e.dg)
-		if err := db.globalIndex.Add(e.d.Name, global); err != nil {
+		if err := db.globalIndex.Add(e.d.Name, r.global); err != nil {
 			return nil, err
 		}
-		for i, emb := range db.Mentor.EmbedModules(e.dg) {
+		for i, emb := range r.modEmbs {
 			id := e.d.Name + "/" + e.dg.Modules[i].Name
 			if err := db.moduleIndex.Add(id, emb); err != nil {
 				return nil, err
@@ -195,17 +240,16 @@ func Build(cfg BuildConfig) (*Database, error) {
 			Design:    e.d.Name,
 			Category:  e.d.Category,
 			Traits:    e.d.Traits,
-			Embedding: global,
+			Embedding: r.global,
 		}
 		if !cfg.SkipSynth {
-			best, err := bestStrategy(e.d, cfg.Lib)
-			if err != nil {
-				return nil, fmt.Errorf("%s: expert synthesis: %v", e.d.Name, err)
+			if r.err != nil {
+				return nil, fmt.Errorf("%s: expert synthesis: %v", e.d.Name, r.err)
 			}
-			rec.Strategy = best.name
-			rec.Plan = StrategyPalette[best.name]
-			rec.QoR = best.qor
-			rec.Quality = quality(best.qor)
+			rec.Strategy = r.best.name
+			rec.Plan = StrategyPalette[r.best.name]
+			rec.QoR = r.best.qor
+			rec.Quality = quality(r.best.qor)
 		}
 		db.Strategies[e.d.Name] = rec
 	}
@@ -295,9 +339,9 @@ func quality(q synth.QoR) float64 {
 
 // StrategyHit is one reranked retrieval result.
 type StrategyHit struct {
-	Record  *StrategyRecord
-	Sim     float64 // cosine similarity (Eq. 4)
-	Score   float64 // reranked score (Eq. 5)
+	Record *StrategyRecord
+	Sim    float64 // cosine similarity (Eq. 4)
+	Score  float64 // reranked score (Eq. 5)
 }
 
 // RetrieveStrategies performs graph-embedding retrieval with the

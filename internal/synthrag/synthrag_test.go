@@ -1,6 +1,7 @@
 package synthrag
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -195,5 +196,41 @@ func TestRetrieveStrategiesRerank(t *testing.T) {
 	qHits := db.RetrieveStrategies(emb, 3, 0.0, 1.0)
 	if qHits[0].Record.Quality < qHits[len(qHits)-1].Record.Quality {
 		t.Error("quality-dominant rerank did not order by quality")
+	}
+}
+
+// TestBuildParallelMatchesSerial is the determinism check for the build
+// fan-out: any worker count must produce an identical database, because
+// per-design work is independent and assembly happens in corpus order.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	sub := designs.DatabaseDesigns()[:5]
+	mk := func(workers int) *Database {
+		t.Helper()
+		db, err := Build(BuildConfig{
+			Seed:        7,
+			TrainEpochs: 2,
+			Designs:     sub,
+			IndexOnly:   []*designs.Design{}, // non-nil: skip the default variants, keep it fast
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("build (workers=%d): %v", workers, err)
+		}
+		return db
+	}
+	serial := mk(1)
+	parallel := mk(8)
+
+	if !reflect.DeepEqual(serial.Strategies, parallel.Strategies) {
+		t.Error("strategy records differ between serial and parallel builds")
+	}
+	if !reflect.DeepEqual(serial.modules, parallel.modules) {
+		t.Error("module records differ between serial and parallel builds")
+	}
+	if !reflect.DeepEqual(serial.globalIndex, parallel.globalIndex) {
+		t.Error("global embedding index differs between serial and parallel builds")
+	}
+	if !reflect.DeepEqual(serial.moduleIndex, parallel.moduleIndex) {
+		t.Error("module embedding index differs between serial and parallel builds")
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+
+	"repro/internal/workpool"
 )
 
 // Matrix is a dense row-major matrix.
@@ -54,13 +57,55 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// parallelFlops is the work size (multiply-adds) above which the row-sharded
+// kernels fan out across cores. Each output row is produced entirely by one
+// goroutine with the serial loop order, so the parallel path is bit-identical
+// to the serial one.
+const parallelFlops = 1 << 18
+
+// ParallelRows splits [0, rows) into contiguous blocks and runs
+// fn(lo, hi) on them across GOMAXPROCS goroutines, waiting for all. Callers
+// must make fn write disjoint output rows only; kernels that keep per-row
+// work identical to their serial loop stay bit-identical under it.
+func ParallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	// A few blocks per worker smooths imbalance without per-row handout cost.
+	blocks := workers * 4
+	if blocks > rows {
+		blocks = rows
+	}
+	size := (rows + blocks - 1) / blocks
+	nb := (rows + size - 1) / size
+	workpool.Run(workers, nb, func(b int) {
+		lo := b * size
+		hi := lo + size
+		if hi > rows {
+			hi = rows
+		}
+		fn(lo, hi)
+	})
+}
+
 // MatMul returns a*b.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matmul shape mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	if a.Rows*a.Cols*b.Cols >= parallelFlops && runtime.GOMAXPROCS(0) > 1 {
+		ParallelRows(a.Rows, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
+	} else {
+		matMulRows(a, b, out, 0, a.Rows)
+	}
+	return out
+}
+
+// matMulRows computes out rows [lo, hi) in ikj order: the i-th output row is
+// a running sum of b's rows scaled by a's entries, so the inner loop streams
+// two contiguous slices and skips the zero entries abundant in one-hot
+// feature blocks.
+func matMulRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
@@ -68,15 +113,17 @@ func MatMul(a, b *Matrix) *Matrix {
 				continue
 			}
 			brow := b.Row(k)
+			_ = orow[len(brow)-1]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
-// MatMulATB returns aᵀ*b, used for weight gradients.
+// MatMulATB returns aᵀ*b, used for weight gradients. It stays serial: its
+// output rows are reductions across a's rows, and sharding the reduction
+// would change float summation order (breaking run-to-run determinism).
 func MatMulATB(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("matmulATB shape mismatch: %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -90,6 +137,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 				continue
 			}
 			orow := out.Row(k)
+			_ = orow[len(brow)-1]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
@@ -104,19 +152,37 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("matmulABT shape mismatch: %dx%d * %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	if a.Rows*a.Cols*b.Rows >= parallelFlops && runtime.GOMAXPROCS(0) > 1 {
+		ParallelRows(a.Rows, func(lo, hi int) { matMulABTRows(a, b, out, lo, hi) })
+	} else {
+		matMulABTRows(a, b, out, 0, a.Rows)
+	}
+	return out
+}
+
+// matMulABTRows computes out rows [lo, hi) as dot products of row pairs,
+// with a 4-way unrolled inner loop over the shared (contiguous) dimension.
+func matMulABTRows(a, b, out *Matrix, lo, hi int) {
+	k4 := a.Cols - a.Cols%4
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
-			var s float64
-			for k := range arow {
+			var s0, s1, s2, s3 float64
+			for k := 0; k < k4; k += 4 {
+				s0 += arow[k] * brow[k]
+				s1 += arow[k+1] * brow[k+1]
+				s2 += arow[k+2] * brow[k+2]
+				s3 += arow[k+3] * brow[k+3]
+			}
+			s := (s0 + s1) + (s2 + s3)
+			for k := k4; k < a.Cols; k++ {
 				s += arow[k] * brow[k]
 			}
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // AddInPlace adds b into a.
