@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare
+.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,18 @@ bench-compare:
 	@cat BENCH_3.json
 
 ci: build vet race
+
+# Short fuzzing pass over every untrusted-input parser. Each target gets
+# FUZZTIME of coverage-guided input generation on top of its checked-in
+# seed corpus (testdata/fuzz/); any crash is a failure. Raise FUZZTIME for
+# a deeper soak, e.g. make fuzz-smoke FUZZTIME=5m.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/verilog -run='^$$' -fuzz=FuzzParseVerilog -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/liberty -run='^$$' -fuzz=FuzzParseLiberty -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/synth -run='^$$' -fuzz=FuzzParseScript -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/graphdb -run='^$$' -fuzz=FuzzParseCypher -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzCustomizeRequest -fuzztime=$(FUZZTIME)
+
+# Everything CI runs plus the fuzz smoke pass.
+check: build vet race fuzz-smoke

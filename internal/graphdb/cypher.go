@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"repro/internal/inputlimits"
 )
 
 // The Cypher subset grammar:
@@ -81,14 +83,27 @@ func (boolExpr) cypherExpr()  {}
 func (notExpr) cypherExpr()   {}
 func (countExpr) cypherExpr() {}
 
-// cypherLexer tokenizes a query.
+// cypherLexer tokenizes a query. Token production is metered; when the
+// budget trips, the lexer pins itself to EOF and records the limit error so
+// the parser terminates and the caller surfaces the typed error instead of
+// whatever syntax error the truncation would otherwise produce.
 type cypherLexer struct {
-	src string
-	pos int
-	tok string
+	src      string
+	pos      int
+	tok      string
+	meter    *inputlimits.Meter
+	limitErr error
 }
 
 func (lx *cypherLexer) next() string {
+	if err := lx.meter.Token(); err != nil {
+		if lx.limitErr == nil {
+			lx.limitErr = err
+		}
+		lx.pos = len(lx.src)
+		lx.tok = ""
+		return ""
+	}
 	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
 		lx.pos++
 	}
@@ -121,7 +136,9 @@ func (lx *cypherLexer) next() string {
 		for lx.pos < len(lx.src) && lx.src[lx.pos] != quote {
 			lx.pos++
 		}
-		lx.pos++ // closing quote
+		if lx.pos < len(lx.src) {
+			lx.pos++ // closing quote; absent when the string is unterminated
+		}
 	case strings.HasPrefix(lx.src[lx.pos:], "<-["):
 		lx.pos += 3
 	case strings.HasPrefix(lx.src[lx.pos:], "]->"):
@@ -152,12 +169,25 @@ func (lx *cypherLexer) peekWord() string {
 }
 
 type cypherParser struct {
-	lx *cypherLexer
+	lx    *cypherLexer
+	meter *inputlimits.Meter
 }
 
-// parseCypher parses a query string.
-func parseCypher(q string) (*cypherQuery, error) {
-	p := &cypherParser{lx: &cypherLexer{src: q}}
+// parseCypher parses a query string under the given meter (nil = unmetered).
+// A tripped token budget pins the lexer to EOF, so the recursive-descent
+// parser unwinds with some syntax error; the recorded limit error takes
+// precedence so callers see the typed limit, not the truncation artifact.
+func parseCypher(q string, m *inputlimits.Meter) (*cypherQuery, error) {
+	lx := &cypherLexer{src: q, meter: m}
+	p := &cypherParser{lx: lx, meter: m}
+	out, err := p.parseQuery()
+	if lx.limitErr != nil {
+		return nil, lx.limitErr
+	}
+	return out, err
+}
+
+func (p *cypherParser) parseQuery() (*cypherQuery, error) {
 	out := &cypherQuery{}
 	kw := strings.ToUpper(p.lx.next())
 	switch kw {
@@ -203,6 +233,9 @@ func parseCypher(q string) (*cypherQuery, error) {
 					p.lx.next()
 				}
 				out.returns = append(out.returns, item)
+				if err := p.meter.Statement(len(out.returns)); err != nil {
+					return nil, err
+				}
 				if p.lx.tok != "," {
 					break
 				}
@@ -259,6 +292,9 @@ func (p *cypherParser) parsePatterns() ([]*patternAST, error) {
 			return nil, err
 		}
 		pats = append(pats, pat)
+		if err := p.meter.Statement(len(pats)); err != nil {
+			return nil, err
+		}
 		if p.lx.tok == "," {
 			// parsePattern's leading next() will consume the '(' itself.
 			continue
@@ -431,6 +467,11 @@ func (p *cypherParser) parseAnd() (exprAST, error) {
 // comparison.
 func (p *cypherParser) parseNot() (exprAST, error) {
 	if strings.ToUpper(p.lx.tok) == "NOT" {
+		// The only unbounded recursion in the grammar: "NOT NOT NOT ...".
+		if err := p.meter.Enter(); err != nil {
+			return nil, err
+		}
+		defer p.meter.Exit()
 		p.lx.next()
 		x, err := p.parseNot()
 		if err != nil {

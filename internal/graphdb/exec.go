@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/inputlimits"
 )
 
 // Result is the outcome of a query: column names and rows of values.
@@ -45,30 +47,31 @@ func (r *Result) colIndex(col string) int {
 	return -1
 }
 
-// Query executes a Cypher-subset query with optional parameters.
+// Query executes a Cypher-subset query with optional parameters, under the
+// process-default cypher input budget. Queries are an untrusted-input
+// surface (they are assembled from request-derived strings), so both the
+// parse and the match search run metered: a query whose pattern search
+// would materialize an explosive number of bindings returns a typed
+// *inputlimits.LimitError instead of exhausting memory.
 func (db *DB) Query(q string, params map[string]any) (*Result, error) {
-	ast, err := parseCypher(q)
+	return db.QueryWithBudget(q, params, inputlimits.For(inputlimits.SurfaceCypher))
+}
+
+// QueryWithBudget runs a query under an explicit budget. The zero budget
+// disables all limits.
+func (db *DB) QueryWithBudget(q string, params map[string]any, budget inputlimits.Budget) (*Result, error) {
+	m := inputlimits.NewMeter(inputlimits.SurfaceCypher, budget)
+	if err := m.CheckBytes(len(q)); err != nil {
+		return nil, err
+	}
+	ast, err := parseCypher(q, m)
 	if err != nil {
-		return nil, fmt.Errorf("cypher: %v", err)
+		return nil, fmt.Errorf("cypher: %w", err)
 	}
 	if ast.create != nil {
 		return db.execCreate(ast, params)
 	}
-	return db.execMatch(ast, params)
-}
-
-// MustQuery panics on error. It exists for tests and interactive
-// exploration ONLY: internal (serving-path) query code must use Query, or
-// QueryValue below, so a malformed query surfaces as an error a caller can
-// classify instead of a panic — any residual panic that does escape is
-// converted into a typed resilience.ErrComponentPanic at the pipeline's
-// guarded boundaries rather than crashing the process.
-func (db *DB) MustQuery(q string, params map[string]any) *Result {
-	r, err := db.Query(q, params)
-	if err != nil {
-		panic(err)
-	}
-	return r
+	return db.execMatch(ast, params, m)
 }
 
 // QueryValue runs a query expected to produce a single 1x1 result and
@@ -145,16 +148,22 @@ func evalConst(e exprAST, params map[string]any) (any, error) {
 // binding maps pattern variables to matched nodes.
 type binding map[string]*Node
 
-func (db *DB) execMatch(ast *cypherQuery, params map[string]any) (*Result, error) {
+func (db *DB) execMatch(ast *cypherQuery, params map[string]any, m *inputlimits.Meter) (*Result, error) {
 	bindings := []binding{{}}
 	for _, pat := range ast.match {
 		var next []binding
 		for _, b := range bindings {
-			matches, err := db.matchPattern(pat, b, params)
+			matches, err := db.matchPattern(pat, b, params, m)
 			if err != nil {
 				return nil, err
 			}
 			next = append(next, matches...)
+			// Comma-separated MATCH patterns multiply bindings (cartesian
+			// product); charge the materialized set against the step budget
+			// so an explosive query trips a typed limit, not the OOM killer.
+			if err := m.StepN(len(matches)); err != nil {
+				return nil, err
+			}
 		}
 		bindings = next
 	}
@@ -245,7 +254,7 @@ func (db *DB) execMatch(ast *cypherQuery, params map[string]any) (*Result, error
 }
 
 // matchPattern extends a binding with all ways the pattern matches.
-func (db *DB) matchPattern(pat *patternAST, base binding, params map[string]any) ([]binding, error) {
+func (db *DB) matchPattern(pat *patternAST, base binding, params map[string]any, m *inputlimits.Meter) ([]binding, error) {
 	// Candidates for the first node.
 	first := pat.nodes[0]
 	cands, err := db.nodeCandidates(first, base, params)
@@ -254,11 +263,14 @@ func (db *DB) matchPattern(pat *patternAST, base binding, params map[string]any)
 	}
 	var out []binding
 	for _, start := range cands {
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
 		b := cloneBinding(base)
 		if first.variable != "" {
 			b[first.variable] = start
 		}
-		exts, err := db.extend(pat, 1, start, b, params)
+		exts, err := db.extend(pat, 1, start, b, params, m)
 		if err != nil {
 			return nil, err
 		}
@@ -326,15 +338,23 @@ func (db *DB) nodeMatches(np *nodePat, n *Node, params map[string]any) (bool, er
 }
 
 // extend matches pattern element idx (a relationship plus node) from cur.
-func (db *DB) extend(pat *patternAST, idx int, cur *Node, b binding, params map[string]any) ([]binding, error) {
+// Every target considered costs one step, which bounds the total search
+// even when the pattern's branching factor explodes on a dense graph.
+func (db *DB) extend(pat *patternAST, idx int, cur *Node, b binding, params map[string]any, m *inputlimits.Meter) ([]binding, error) {
 	if idx >= len(pat.nodes) {
 		return []binding{b}, nil
 	}
 	rel := pat.rels[idx-1]
 	np := pat.nodes[idx]
-	targets := db.relTargets(cur, rel)
+	targets, err := db.relTargets(cur, rel, m)
+	if err != nil {
+		return nil, err
+	}
 	var out []binding
 	for _, tgt := range targets {
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
 		ok, err := db.nodeMatches(np, tgt, params)
 		if err != nil {
 			return nil, err
@@ -351,7 +371,7 @@ func (db *DB) extend(pat *patternAST, idx int, cur *Node, b binding, params map[
 		if np.variable != "" {
 			nb[np.variable] = tgt
 		}
-		exts, err := db.extend(pat, idx+1, tgt, nb, params)
+		exts, err := db.extend(pat, idx+1, tgt, nb, params, m)
 		if err != nil {
 			return nil, err
 		}
@@ -361,8 +381,9 @@ func (db *DB) extend(pat *patternAST, idx int, cur *Node, b binding, params map[
 }
 
 // relTargets lists nodes reachable from cur over the relationship pattern,
-// honoring direction and variable-length bounds.
-func (db *DB) relTargets(cur *Node, rel *relPat) []*Node {
+// honoring direction and variable-length bounds. The variable-length BFS is
+// step-metered per dequeued frontier node.
+func (db *DB) relTargets(cur *Node, rel *relPat, m *inputlimits.Meter) ([]*Node, error) {
 	step := func(n *Node) []*Node {
 		var rels []*Rel
 		if rel.reverse {
@@ -381,7 +402,7 @@ func (db *DB) relTargets(cur *Node, rel *relPat) []*Node {
 		return out
 	}
 	if !rel.varLen {
-		return step(cur)
+		return step(cur), nil
 	}
 	// BFS collecting nodes at depth [minHops, maxHops].
 	type item struct {
@@ -392,6 +413,9 @@ func (db *DB) relTargets(cur *Node, rel *relPat) []*Node {
 	var out []*Node
 	queue := []item{{cur, 0}}
 	for len(queue) > 0 {
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
 		it := queue[0]
 		queue = queue[1:]
 		if it.depth >= rel.maxHops {
@@ -409,7 +433,7 @@ func (db *DB) relTargets(cur *Node, rel *relPat) []*Node {
 			queue = append(queue, item{nxt, d})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func evalExpr(e exprAST, b binding, params map[string]any) (any, error) {

@@ -1,0 +1,73 @@
+package graphdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/inputlimits"
+)
+
+// cypherFuzzBudget is tight so the fuzzer explores parser and executor
+// states instead of grinding through large accepted queries.
+var cypherFuzzBudget = inputlimits.Budget{
+	MaxBytes:      1 << 12,
+	MaxTokens:     1 << 10,
+	MaxDepth:      32,
+	MaxStatements: 1 << 8,
+	MaxSteps:      1 << 14,
+}
+
+// fuzzDB builds a small fixed graph: a chain of cells wired port-to-port,
+// dense enough that variable-length and multi-pattern queries have real
+// work to do. Built fresh per iteration because fuzzed CREATE queries
+// mutate the database.
+func fuzzDB() *DB {
+	db := New()
+	var prev *Node
+	for i := 0; i < 8; i++ {
+		n := db.CreateNode([]string{"Cell"}, map[string]any{
+			"name": "g" + string(rune('0'+i)),
+			"kind": []string{"NAND2", "INV", "DFF"}[i%3],
+		})
+		if prev != nil {
+			db.CreateRel(prev, n, "DRIVES", nil)
+		}
+		prev = n
+	}
+	return db
+}
+
+// FuzzParseCypher asserts the Cypher-subset parser and executor never panic
+// or hang on arbitrary query text — including the unterminated-string input
+// that once drove the lexer past the end of its source buffer.
+func FuzzParseCypher(f *testing.F) {
+	seeds := []string{
+		"MATCH (c:Cell) RETURN c.name ORDER BY c.name LIMIT 5",
+		"MATCH (a:Cell)-[:DRIVES]->(b:Cell) WHERE a.kind = 'INV' RETURN a.name, b.name",
+		"MATCH (a)-[:DRIVES*1..4]->(b) RETURN count(b)",
+		"CREATE (x:Cell {name: 'new', kind: $k})",
+		"MATCH (a), (b) WHERE NOT a.name = b.name RETURN count(a)",
+		"MATCH (c:Cell) RETURN c.name AS n ORDER BY n DESC",
+		"MATCH 'abc",        // regression: unterminated string overran the lexer
+		"MATCH (a RETURN a", // unclosed node pattern
+		"MATCH (a)-[->(b) RETURN a",
+		strings.Repeat("NOT ", 40) + "true",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		db := fuzzDB()
+		res, err := db.QueryWithBudget(q, map[string]any{"k": "INV"}, cypherFuzzBudget)
+		if err != nil {
+			return
+		}
+		// Accepted queries return well-formed results: every row as wide as
+		// the column list.
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Fatalf("row width %d != %d columns", len(row), len(res.Columns))
+			}
+		}
+	})
+}

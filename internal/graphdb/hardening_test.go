@@ -1,0 +1,122 @@
+package graphdb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/inputlimits"
+	"repro/internal/resilience"
+)
+
+// TestQueryUnterminatedString is the regression test for the lexer overrun:
+// an unterminated quoted string used to advance the cursor past the end of
+// the source and slice out of bounds.
+func TestQueryUnterminatedString(t *testing.T) {
+	db := fuzzDB()
+	for _, q := range []string{
+		"MATCH 'abc",
+		"MATCH \"abc",
+		"MATCH (a {name: 'x) RETURN a",
+		"'",
+		"\"",
+	} {
+		if _, err := db.Query(q, nil); err == nil {
+			t.Errorf("query %q: expected an error", q)
+		}
+	}
+}
+
+// TestQueryMalformedInputs: truncated, garbage, and pathological queries
+// return errors without panicking or hanging.
+func TestQueryMalformedInputs(t *testing.T) {
+	db := fuzzDB()
+	cases := []struct {
+		name string
+		q    string
+	}{
+		{"empty", ""},
+		{"garbage", "\x00\x01\x02"},
+		{"wrong verb", "DELETE (a) RETURN a"},
+		{"match no return", "MATCH (a)"},
+		{"unclosed node", "MATCH (a RETURN a"},
+		{"unclosed rel", "MATCH (a)-[->(b) RETURN a"},
+		{"bad limit", "MATCH (a) RETURN a LIMIT banana"},
+		{"negative limit", "MATCH (a) RETURN a LIMIT -1"},
+		{"order without by", "MATCH (a) RETURN a ORDER a"},
+		{"starts without with", "MATCH (a) WHERE a.name STARTS 'g' RETURN a"},
+		{"count outside return", "MATCH (a) WHERE count(a) > 1 RETURN a"},
+		{"create varlen", "CREATE (a)-[:X*1..3]->(b)"},
+		{"deep not chain", strings.Repeat("MATCH (a) WHERE ", 1) + strings.Repeat("NOT ", 100000) + "true RETURN a"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := db.Query(tc.q, nil); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+// TestQueryBudgetTyped: each budget dimension trips a typed
+// *inputlimits.LimitError mapped into the resilience taxonomy.
+func TestQueryBudgetTyped(t *testing.T) {
+	db := fuzzDB()
+	var le *inputlimits.LimitError
+
+	_, err := db.QueryWithBudget("MATCH (a) RETURN a", nil, inputlimits.Budget{MaxBytes: 4})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitBytes {
+		t.Fatalf("want bytes limit, got %v", err)
+	}
+	if !errors.Is(err, resilience.ErrBudgetExceeded) {
+		t.Fatalf("error %v must map to resilience.ErrBudgetExceeded", err)
+	}
+
+	_, err = db.QueryWithBudget("MATCH (a:Cell)-[:DRIVES]->(b) RETURN a.name, b.name", nil, inputlimits.Budget{MaxTokens: 4})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitTokens {
+		t.Fatalf("want tokens limit, got %v", err)
+	}
+
+	_, err = db.QueryWithBudget("MATCH "+strings.Repeat("NOT ", 64)+"true RETURN 1", nil, inputlimits.Budget{MaxDepth: 8})
+	if err == nil {
+		t.Fatal("want an error from deep NOT chain")
+	}
+
+	_, err = db.QueryWithBudget("MATCH (a), (b), (c) RETURN count(a)", nil, inputlimits.Budget{MaxStatements: 2})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitStatements {
+		t.Fatalf("want statements limit, got %v", err)
+	}
+}
+
+// TestQueryBindingExplosionBounded: a cartesian-product MATCH over several
+// patterns materializes bindings bounded by the step budget rather than
+// exhausting memory.
+func TestQueryBindingExplosionBounded(t *testing.T) {
+	db := New()
+	for i := 0; i < 64; i++ {
+		db.CreateNode([]string{"Cell"}, map[string]any{"i": int64(i)})
+	}
+	// 64^4 = 16.7M candidate bindings; the budget stops the search early.
+	q := "MATCH (a), (b), (c), (d) RETURN count(a)"
+	_, err := db.QueryWithBudget(q, nil, inputlimits.Budget{MaxSteps: 10000})
+	var le *inputlimits.LimitError
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitSteps {
+		t.Fatalf("want steps limit, got %v", err)
+	}
+}
+
+// TestQueryDefaultBudgetServesRealQueries: the query shapes SynthRAG issues
+// against its design graph run untouched under the serving default.
+func TestQueryDefaultBudgetServesRealQueries(t *testing.T) {
+	db := fuzzDB()
+	for _, q := range []string{
+		"MATCH (c:Cell) RETURN c.name ORDER BY c.name",
+		"MATCH (a:Cell)-[:DRIVES]->(b:Cell) RETURN a.name, b.name",
+		"MATCH (a)-[:DRIVES*1..8]->(b) RETURN count(b)",
+	} {
+		if _, err := db.Query(q, nil); err != nil {
+			t.Fatalf("default budget rejected %q: %v", q, err)
+		}
+	}
+}

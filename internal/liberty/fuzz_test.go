@@ -1,0 +1,44 @@
+package liberty
+
+import (
+	"testing"
+
+	"repro/internal/inputlimits"
+)
+
+var fuzzBudget = inputlimits.Budget{
+	MaxBytes:      1 << 16,
+	MaxTokens:     1 << 13,
+	MaxStatements: 1 << 10,
+	MaxSteps:      1 << 16,
+}
+
+// FuzzParseLiberty asserts the parser never panics or hangs on arbitrary
+// .lib text, and the round-trip property: an accepted library serializes
+// through WriteLib to text that re-parses to an identical serialization.
+func FuzzParseLiberty(f *testing.F) {
+	seeds := []string{
+		WriteLib(Nangate45()),
+		"library (tiny) {\n  cell (INV_X1) {\n    function : \"INV\";\n    drive_strength : 1;\n    area : 0.5;\n  }\n}\n",
+		"library (wl) {\n  default_wire_load : \"w\";\n  wire_load (\"w\") {\n    slope : 0.002;\n    resistance : 0.9;\n    fanout_capacitance (1, 0.0021);\n  }\n}\n",
+		"library (broken) {\n  cell (X) {",
+		"library (c) { /* comment */ }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ParseLibWithBudget(src, fuzzBudget)
+		if err != nil {
+			return
+		}
+		printed := WriteLib(l)
+		l2, err := ParseLib(printed)
+		if err != nil {
+			t.Fatalf("WriteLib output does not re-parse: %v\n%s", err, printed)
+		}
+		if got := WriteLib(l2); got != printed {
+			t.Fatalf("round trip changed library:\n--- first print ---\n%s\n--- second print ---\n%s", printed, got)
+		}
+	})
+}

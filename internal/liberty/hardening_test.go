@@ -1,0 +1,94 @@
+package liberty
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/inputlimits"
+	"repro/internal/resilience"
+)
+
+// TestBuildNangate45 proves the static builder cannot fail, which is what
+// lets Nangate45() discard the error.
+func TestBuildNangate45(t *testing.T) {
+	l, err := BuildNangate45()
+	if err != nil {
+		t.Fatalf("BuildNangate45: %v", err)
+	}
+	if len(l.Cells()) == 0 {
+		t.Fatal("built library has no cells")
+	}
+	if l.DefaultWL != "5K_heavy_1k" {
+		t.Fatalf("DefaultWL = %q", l.DefaultWL)
+	}
+}
+
+// TestParseLibMalformedInputs: truncated, garbage, and pathological .lib
+// text returns errors without panicking or hanging.
+func TestParseLibMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"garbage", "\x01\x02\x03 not a library"},
+		{"truncated header", "library"},
+		{"unterminated paren", "library (x"},
+		{"unterminated body", "library (x) {"},
+		{"unterminated comment", "library (x) { /* never"},
+		{"unknown item", "library (x) { bogus_item : 1; }"},
+		{"cell no function", "library (x) { cell (a) { area : 1; } }"},
+		{"bad float", "library (x) { cell (a) { function : \"INV\"; area : zzz; } }"},
+		{"duplicate cell", "library (x) { cell (a) { function : \"INV\"; } cell (a) { function : \"INV\"; } }"},
+		{"missing semicolon", "library (x) { default_wire_load : w"},
+		{"deep garbage run", "library (x) { " + strings.Repeat("cell (a) { ", 10000)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLib(tc.src)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+// TestParseLibBudgetTyped: oversized inputs trip typed limit errors mapped
+// into the resilience taxonomy.
+func TestParseLibBudgetTyped(t *testing.T) {
+	src := WriteLib(Nangate45())
+	_, err := ParseLibWithBudget(src, inputlimits.Budget{MaxBytes: 64})
+	var le *inputlimits.LimitError
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitBytes {
+		t.Fatalf("want bytes limit error, got %v", err)
+	}
+	if !errors.Is(err, resilience.ErrBudgetExceeded) {
+		t.Fatalf("error %v must map to resilience.ErrBudgetExceeded", err)
+	}
+
+	_, err = ParseLibWithBudget(src, inputlimits.Budget{MaxTokens: 8})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitTokens {
+		t.Fatalf("want tokens limit error, got %v", err)
+	}
+
+	many := "library (x) {\n" + strings.Repeat("  wire_load (\"w\") {\n  }\n", 100) + "}\n"
+	_, err = ParseLibWithBudget(many, inputlimits.Budget{MaxStatements: 4})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitStatements {
+		t.Fatalf("want statements limit error, got %v", err)
+	}
+}
+
+// TestParseLibDefaultBudgetAcceptsBuiltin: the shipped library round-trips
+// under the serving-default budget.
+func TestParseLibDefaultBudgetAcceptsBuiltin(t *testing.T) {
+	src := WriteLib(Nangate45())
+	l, err := ParseLib(src)
+	if err != nil {
+		t.Fatalf("ParseLib(WriteLib(Nangate45)): %v", err)
+	}
+	if got := WriteLib(l); got != src {
+		t.Fatal("round trip changed the built-in library")
+	}
+}

@@ -218,8 +218,19 @@ func scale(name string, kind Kind, drive int, area, cap1, intr, res1, leak float
 }
 
 // Nangate45 builds the built-in Nangate45-like library with the 5K_heavy_1k
-// wireload model the paper uses, plus lighter alternatives.
+// wireload model the paper uses, plus lighter alternatives. The cell set is
+// static and collision-free (TestBuildNangate45 proves BuildNangate45 cannot
+// fail on it), so this convenience form has no error to report.
 func Nangate45() *Library {
+	l, _ := BuildNangate45()
+	return l
+}
+
+// BuildNangate45 is the error-returning builder behind Nangate45. Any
+// AddCell failure propagates instead of panicking, matching the no-panic
+// contract of the parse API (ParseLib) that assembles libraries the same
+// way from untrusted text.
+func BuildNangate45() (*Library, error) {
 	l := NewLibrary("nangate45_sim")
 	type proto struct {
 		base   string
@@ -253,7 +264,7 @@ func Nangate45() *Library {
 	for _, p := range protos {
 		for _, d := range p.drives {
 			if err := l.AddCell(scale(p.base, p.kind, d, p.area, p.cap1, p.intr, p.res1, p.leak)); err != nil {
-				panic(err)
+				return l, err
 			}
 		}
 	}
@@ -262,13 +273,13 @@ func Nangate45() *Library {
 		ff.Setup = 0.055
 		ff.ClkToQ = 0.085 * (1 + 0.05*(float64(d)-1))
 		if err := l.AddCell(ff); err != nil {
-			panic(err)
+			return l, err
 		}
 		ffr := scale("DFFR", KindDFFR, d, 5.054, 0.0015, 0, 6.4, 9.2)
 		ffr.Setup = 0.058
 		ffr.ClkToQ = 0.090 * (1 + 0.05*(float64(d)-1))
 		if err := l.AddCell(ffr); err != nil {
-			panic(err)
+			return l, err
 		}
 	}
 	for _, tie := range []struct {
@@ -279,7 +290,7 @@ func Nangate45() *Library {
 			Name: tie.name + "_X1", Kind: tie.kind, Drive: 1,
 			Area: 0.532, Intrinsic: 0, DriveRes: 4.0, MaxCap: 0.1, Leakage: 0.8,
 		}); err != nil {
-			panic(err)
+			return l, err
 		}
 	}
 
@@ -305,5 +316,5 @@ func Nangate45() *Library {
 		Res:   0.35,
 	}
 	l.DefaultWL = "5K_heavy_1k"
-	return l
+	return l, nil
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/inputlimits"
 )
 
 // This file implements a writer and parser for a Liberty-format subset:
@@ -57,9 +59,22 @@ func WriteLib(l *Library) string {
 }
 
 // ParseLib parses Liberty-subset text produced by WriteLib (or hand-written
-// in the same dialect) back into a Library.
+// in the same dialect) back into a Library, under the process-default input
+// budget. Library files are a trust boundary — external .lib text must not
+// be able to stall or crash the process — so oversized or adversarial
+// inputs return a typed *inputlimits.LimitError.
 func ParseLib(src string) (*Library, error) {
-	p := &libParser{src: src}
+	return ParseLibWithBudget(src, inputlimits.For(inputlimits.SurfaceLiberty))
+}
+
+// ParseLibWithBudget parses Liberty-subset text under an explicit budget.
+// The zero budget disables all limits.
+func ParseLibWithBudget(src string, budget inputlimits.Budget) (*Library, error) {
+	m := inputlimits.NewMeter(inputlimits.SurfaceLiberty, budget)
+	if err := m.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	p := &libParser{src: src, meter: m}
 	p.skipSpace()
 	if !p.eatWord("library") {
 		return nil, p.errf("expected 'library'")
@@ -72,11 +87,16 @@ func ParseLib(src string) (*Library, error) {
 	if err := p.expect('{'); err != nil {
 		return nil, err
 	}
+	items := 0
 	for {
 		p.skipSpace()
 		if p.peek() == '}' {
 			p.pos++
 			break
+		}
+		items++
+		if err := p.meter.Statement(items); err != nil {
+			return nil, err
 		}
 		word, err := p.word()
 		if err != nil {
@@ -111,8 +131,9 @@ func ParseLib(src string) (*Library, error) {
 }
 
 type libParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	meter *inputlimits.Meter
 }
 
 func (p *libParser) errf(format string, args ...any) error {
@@ -157,6 +178,11 @@ func (p *libParser) eatWord(w string) bool {
 }
 
 func (p *libParser) word() (string, error) {
+	// Every attribute and group parse consumes a word first, so metering
+	// here bounds all parser loops.
+	if err := p.meter.Token(); err != nil {
+		return "", err
+	}
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.src) {

@@ -22,12 +22,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	chatls "repro"
 	"repro/internal/designs"
+	"repro/internal/inputlimits"
 	"repro/internal/liberty"
 	"repro/internal/llm"
 	"repro/internal/lru"
@@ -58,6 +60,9 @@ type Config struct {
 
 	DefaultK int // Pass@k when the request omits k (default 1)
 	MaxK     int // upper bound on requested k (default 10)
+
+	MaxBodyBytes      int64 // request-body cap, enforced before decoding (default 1 MiB)
+	MaxRequirementLen int   // requirement string length cap (default 8 KiB)
 }
 
 // taskEntry is one cached baseline synthesis: the pristine task (requirement
@@ -78,12 +83,15 @@ type Server struct {
 	reg    *metrics.Registry
 	closed atomic.Bool
 
-	requests *metrics.Counter
-	rejected *metrics.Counter
-	errs     *metrics.Counter
-	timeouts *metrics.Counter
-	sfShared *metrics.Counter
-	latency  *metrics.Histogram
+	requests     *metrics.Counter
+	rejected     *metrics.Counter
+	errs         *metrics.Counter
+	timeouts     *metrics.Counter
+	sfShared     *metrics.Counter
+	bodyTooLarge *metrics.Counter
+	badJSON      *metrics.Counter
+	invalidReq   *metrics.Counter
+	latency      *metrics.Histogram
 
 	// hookBeforeWork, when set, runs at the start of every pool-executed
 	// customization. Tests use it to hold a worker in place while they
@@ -132,6 +140,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 10
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxRequirementLen <= 0 {
+		cfg.MaxRequirementLen = 8 << 10
+	}
 
 	cfg.DB.EnableCache(cfg.EmbedCacheSize, cfg.RetrieveCacheSize)
 
@@ -152,6 +166,9 @@ func New(cfg Config) (*Server, error) {
 	s.errs = s.reg.NewCounter("chatlsd_errors_total", "customize requests that failed")
 	s.timeouts = s.reg.NewCounter("chatlsd_timeouts_total", "customize requests that hit the per-request deadline")
 	s.sfShared = s.reg.NewCounter("chatlsd_singleflight_shared_total", "requests coalesced onto an identical in-flight request")
+	s.bodyTooLarge = s.reg.NewCounter("chatlsd_input_rejected_body_too_large_total", "requests rejected with 413 for exceeding the body-size cap")
+	s.badJSON = s.reg.NewCounter("chatlsd_input_rejected_bad_json_total", "requests rejected with 400 for malformed or unknown-field JSON")
+	s.invalidReq = s.reg.NewCounter("chatlsd_input_rejected_invalid_total", "requests rejected with 422 for semantically invalid fields")
 	s.flight.onJoin = s.sfShared.Inc
 	s.reg.NewCounterFunc("chatlsd_task_cache_hits_total", "baseline-task cache hits", s.tasks.Hits)
 	s.reg.NewCounterFunc("chatlsd_task_cache_misses_total", "baseline-task cache misses", s.tasks.Misses)
@@ -242,22 +259,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
-		return
-	}
-	s.requests.Inc()
-
+// decodeCustomize decodes and validates a customize request body. It is the
+// trust boundary for /v1/customize: arbitrary bytes in, either a normalized
+// request out or an HTTP status in {413, 400, 422} with a safe message —
+// never a panic, never a 500 for any input shape. Syntax problems (bad JSON,
+// unknown fields, trailing data) are 400; a body over the MaxBytesReader cap
+// is 413; well-formed JSON with invalid field values is 422. Design-name
+// existence is checked by the caller (404), since it depends on server state
+// rather than the bytes themselves.
+func (s *Server) decodeCustomize(body io.Reader) (customizeRequest, int, error) {
 	var req customizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return req, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return req, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
 	}
-	d, ok := s.byName[req.Design]
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown design %q", req.Design)})
-		return
+	if dec.More() {
+		return req, http.StatusBadRequest, errors.New("bad request body: trailing data after JSON object")
+	}
+	if len(req.Requirement) > s.cfg.MaxRequirementLen {
+		return req, http.StatusUnprocessableEntity,
+			fmt.Errorf("requirement length %d exceeds limit %d", len(req.Requirement), s.cfg.MaxRequirementLen)
 	}
 	if req.Requirement == "" {
 		req.Requirement = chatls.DefaultRequirement
@@ -268,14 +295,43 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	switch req.Pipeline {
 	case "chatls", "gpt4o", "claude":
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown pipeline %q", req.Pipeline)})
-		return
+		return req, http.StatusUnprocessableEntity, fmt.Errorf("unknown pipeline %q", req.Pipeline)
 	}
-	if req.K <= 0 {
+	if req.K < 0 {
+		return req, http.StatusUnprocessableEntity, fmt.Errorf("k %d is negative", req.K)
+	}
+	if req.K == 0 {
 		req.K = s.cfg.DefaultK
 	}
 	if req.K > s.cfg.MaxK {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("k %d exceeds limit %d", req.K, s.cfg.MaxK)})
+		return req, http.StatusUnprocessableEntity, fmt.Errorf("k %d exceeds limit %d", req.K, s.cfg.MaxK)
+	}
+	return req, http.StatusOK, nil
+}
+
+func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	}
+	s.requests.Inc()
+
+	req, code, err := s.decodeCustomize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		switch code {
+		case http.StatusRequestEntityTooLarge:
+			s.bodyTooLarge.Inc()
+		case http.StatusBadRequest:
+			s.badJSON.Inc()
+		case http.StatusUnprocessableEntity:
+			s.invalidReq.Inc()
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	d, ok := s.byName[req.Design]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown design %q", req.Design)})
 		return
 	}
 
@@ -414,13 +470,54 @@ func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// budgetJSON mirrors inputlimits.Budget in the health report.
+type budgetJSON struct {
+	MaxBytes      int `json:"max_bytes,omitempty"`
+	MaxTokens     int `json:"max_tokens,omitempty"`
+	MaxDepth      int `json:"max_depth,omitempty"`
+	MaxStatements int `json:"max_statements,omitempty"`
+	MaxSteps      int `json:"max_steps,omitempty"`
+}
+
+func toBudgetJSON(b inputlimits.Budget) budgetJSON {
+	return budgetJSON{
+		MaxBytes:      b.MaxBytes,
+		MaxTokens:     b.MaxTokens,
+		MaxDepth:      b.MaxDepth,
+		MaxStatements: b.MaxStatements,
+		MaxSteps:      b.MaxSteps,
+	}
+}
+
+// healthzResponse echoes the effective request and parser limits so an
+// operator can confirm what the running daemon actually enforces — the
+// values reflect any cmd/chatlsd flag overrides, not just the defaults.
+type healthzResponse struct {
+	Status            string                `json:"status"`
+	MaxBodyBytes      int64                 `json:"max_body_bytes"`
+	MaxRequirementLen int                   `json:"max_requirement_len"`
+	MaxK              int                   `json:"max_k"`
+	ParserBudgets     map[string]budgetJSON `json:"parser_budgets"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.closed.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "shutting down"})
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok\n"))
+	limits := inputlimits.Defaults()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:            "ok",
+		MaxBodyBytes:      s.cfg.MaxBodyBytes,
+		MaxRequirementLen: s.cfg.MaxRequirementLen,
+		MaxK:              s.cfg.MaxK,
+		ParserBudgets: map[string]budgetJSON{
+			inputlimits.SurfaceVerilog: toBudgetJSON(limits.Verilog),
+			inputlimits.SurfaceLiberty: toBudgetJSON(limits.Liberty),
+			inputlimits.SurfaceScript:  toBudgetJSON(limits.Script),
+			inputlimits.SurfaceCypher:  toBudgetJSON(limits.Cypher),
+		},
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

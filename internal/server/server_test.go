@@ -129,8 +129,8 @@ func TestCustomizeEndToEnd(t *testing.T) {
 	// Bad inputs.
 	for body, want := range map[string]int{
 		`{"design":"nope"}`:                    http.StatusNotFound,
-		`{"design":"riscv32i","k":99}`:         http.StatusBadRequest,
-		`{"design":"riscv32i","pipeline":"x"}`: http.StatusBadRequest,
+		`{"design":"riscv32i","k":99}`:         http.StatusUnprocessableEntity,
+		`{"design":"riscv32i","pipeline":"x"}`: http.StatusUnprocessableEntity,
 		`not json`:                             http.StatusBadRequest,
 	} {
 		hr, _ := postCustomize(t, ts.URL, body)

@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/inputlimits"
+)
+
+// scriptFuzzBudget is deliberately tighter than the serving default so the
+// fuzzer spends its time exploring parser states instead of churning through
+// megabytes of accepted input.
+var scriptFuzzBudget = inputlimits.Budget{
+	MaxBytes:      1 << 16,
+	MaxTokens:     1 << 13,
+	MaxStatements: 1 << 10,
+	MaxSteps:      1 << 16,
+}
+
+// FuzzParseScript asserts the dc_shell-subset script parser never panics or
+// hangs on arbitrary text, and that any script it accepts is also accepted
+// unchanged on a second parse (parsing is deterministic and side-effect
+// free). ValidateScript runs on every input too, since it is the surface the
+// serving path actually calls.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"read_verilog design.v\ncreate_clock -period 1.0 clk\ncompile\n",
+		"set period 0.9\ncreate_clock -period $period [get_ports clk]\n",
+		"compile_ultra -retime ;# aggressive\n",
+		"read_verilog a.v \\\n  b.v\nlink\n",
+		"echo \"quoted arg\" [all_inputs] {brace group}\n",
+		"set_max_fanout 16 [current_design]\nreport_qor\n",
+		"create_clock -period",
+		"bogus_command -x",
+		"echo [unbalanced\n",
+		"echo \"unterminated\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cmds, err := ParseScriptWithBudget(src, scriptFuzzBudget)
+		if err != nil {
+			return
+		}
+		again, err := ParseScriptWithBudget(src, scriptFuzzBudget)
+		if err != nil {
+			t.Fatalf("second parse of accepted script failed: %v", err)
+		}
+		if len(again) != len(cmds) {
+			t.Fatalf("second parse returned %d commands, first %d", len(again), len(cmds))
+		}
+		ValidateScript(src)
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/inputlimits"
 )
 
 // OptSpec describes one option of a script command.
@@ -259,19 +261,40 @@ type Cmd struct {
 // $var substitution for variables assigned with set, strips comments, and
 // treats [...] bracket expressions as single arguments. Unknown commands and
 // malformed options are reported as errors with their line number.
+//
+// Scripts are an untrusted-input surface (they arrive from LLM generations
+// and, through the daemon, indirectly from the network), so parsing runs
+// under the process-default input budget and returns a typed
+// *inputlimits.LimitError on inputs that exceed it.
 func ParseScript(text string) ([]Cmd, error) {
+	return ParseScriptWithBudget(text, inputlimits.For(inputlimits.SurfaceScript))
+}
+
+// ParseScriptWithBudget parses a script under an explicit budget. The zero
+// budget disables all limits.
+func ParseScriptWithBudget(text string, budget inputlimits.Budget) ([]Cmd, error) {
+	meter := inputlimits.NewMeter(inputlimits.SurfaceScript, budget)
+	if err := meter.CheckBytes(len(text)); err != nil {
+		return nil, err
+	}
 	var cmds []Cmd
 	vars := make(map[string]string)
 	lines := strings.Split(text, "\n")
 	for i := 0; i < len(lines); i++ {
-		raw := lines[i]
 		lineNo := i + 1
-		// Line continuation.
-		for strings.HasSuffix(strings.TrimRight(raw, " \t"), "\\") && i+1 < len(lines) {
-			raw = strings.TrimRight(strings.TrimRight(raw, " \t"), "\\") + " " + lines[i+1]
-			i++
+		if err := meter.Step(); err != nil {
+			return nil, err
 		}
-		line := stripComment(raw)
+		// Line continuation: gather all continued segments first and join
+		// once, so a long continuation chain costs linear work rather than
+		// re-copying the accumulated line per segment.
+		segs := []string{lines[i]}
+		for strings.HasSuffix(strings.TrimRight(segs[len(segs)-1], " \t"), "\\") && i+1 < len(lines) {
+			segs[len(segs)-1] = strings.TrimRight(strings.TrimRight(segs[len(segs)-1], " \t"), "\\")
+			i++
+			segs = append(segs, lines[i])
+		}
+		line := stripComment(strings.Join(segs, " "))
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
@@ -283,9 +306,21 @@ func ParseScript(text string) ([]Cmd, error) {
 		if len(toks) == 0 {
 			continue
 		}
-		// Variable substitution.
+		for range toks {
+			if err := meter.Token(); err != nil {
+				return nil, err
+			}
+		}
+		// Variable substitution. Expansion is charged against the step
+		// budget: a small script that sets a large variable and references
+		// it many times would otherwise amplify memory far beyond MaxBytes.
 		for j, t := range toks {
 			toks[j] = substVars(t, vars)
+			if grew := len(toks[j]) - len(t); grew > 0 {
+				if err := meter.StepN(grew); err != nil {
+					return nil, err
+				}
+			}
 		}
 		name := toks[0]
 		spec, ok := Commands[name]
@@ -322,6 +357,9 @@ func ParseScript(text string) ([]Cmd, error) {
 		}
 		if name == "set" {
 			vars[cmd.Args[0]] = cmd.Args[1]
+		}
+		if err := meter.Statement(len(cmds) + 1); err != nil {
+			return nil, err
 		}
 		cmds = append(cmds, cmd)
 	}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/inputlimits"
+	"repro/internal/resilience"
+)
+
+// TestParseScriptMalformedInputs: truncated, garbage, and pathological
+// scripts return errors (or parse to something harmless) without panicking
+// or hanging.
+func TestParseScriptMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage bytes", "\x00\x01\x02\xff"},
+		{"unknown command", "fire_the_lasers now"},
+		{"unknown option", "compile -warp_speed"},
+		{"missing option arg", "create_clock -period"},
+		{"too few args", "set onlyname"},
+		{"unbalanced bracket", "echo [get_ports clk"},
+		{"unterminated string", "echo \"never closed"},
+		{"unterminated brace", "echo {never closed"},
+		{"continuation at EOF", "read_verilog a.v \\"},
+		{"deep continuation chain", strings.Repeat("echo x \\\n", 5000) + "done"},
+		{"many lines", strings.Repeat("echo hi\n", 5000)},
+		{"huge single token", "echo " + strings.Repeat("a", 1<<16)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ParseScriptWithBudget(tc.src, inputlimits.Budget{
+				MaxBytes: 1 << 20, MaxTokens: 1 << 16, MaxStatements: 1 << 14, MaxSteps: 1 << 20,
+			})
+		})
+	}
+}
+
+// TestParseScriptBudgetTyped: each budget dimension trips a typed
+// *inputlimits.LimitError that maps into the resilience taxonomy.
+func TestParseScriptBudgetTyped(t *testing.T) {
+	var le *inputlimits.LimitError
+
+	_, err := ParseScriptWithBudget("echo hi\n", inputlimits.Budget{MaxBytes: 4})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitBytes {
+		t.Fatalf("want bytes limit, got %v", err)
+	}
+	if !errors.Is(err, resilience.ErrBudgetExceeded) {
+		t.Fatalf("error %v must map to resilience.ErrBudgetExceeded", err)
+	}
+
+	_, err = ParseScriptWithBudget("echo a b c d e f g h\n", inputlimits.Budget{MaxTokens: 3})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitTokens {
+		t.Fatalf("want tokens limit, got %v", err)
+	}
+
+	_, err = ParseScriptWithBudget(strings.Repeat("echo hi\n", 10), inputlimits.Budget{MaxStatements: 3})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitStatements {
+		t.Fatalf("want statements limit, got %v", err)
+	}
+
+	_, err = ParseScriptWithBudget(strings.Repeat("\n", 100), inputlimits.Budget{MaxSteps: 10})
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitSteps {
+		t.Fatalf("want steps limit, got %v", err)
+	}
+}
+
+// TestParseScriptExpansionBounded: a small script that sets a large variable
+// and references it many times cannot amplify memory past the step budget.
+func TestParseScriptExpansionBounded(t *testing.T) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set big %s\n", strings.Repeat("x", 4096))
+	b.WriteString("echo")
+	for i := 0; i < 256; i++ {
+		b.WriteString(" $big")
+	}
+	b.WriteString("\n")
+	_, err := ParseScriptWithBudget(b.String(), inputlimits.Budget{MaxSteps: 1 << 16})
+	var le *inputlimits.LimitError
+	if !errors.As(err, &le) || le.Limit != inputlimits.LimitSteps {
+		t.Fatalf("want steps limit on expansion blowup, got %v", err)
+	}
+}
+
+// TestParseScriptContinuationLinear: the continuation joiner must not be
+// quadratic. 200k continued lines parse in well under the test timeout; the
+// old accumulate-by-concatenation implementation took minutes here.
+func TestParseScriptContinuationLinear(t *testing.T) {
+	src := "echo start \\\n" + strings.Repeat("x \\\n", 200000) + "end"
+	cmds, err := ParseScriptWithBudget(src, inputlimits.Budget{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(cmds) != 1 || cmds[0].Name != "echo" {
+		t.Fatalf("got %d cmds", len(cmds))
+	}
+	if len(cmds[0].Args) != 200002 {
+		t.Fatalf("got %d args, want 200002", len(cmds[0].Args))
+	}
+}
+
+// TestParseScriptDefaultBudgetAcceptsPipelineScripts: scripts shaped like
+// the pipeline's own generations parse untouched under serving defaults.
+func TestParseScriptDefaultBudgetAcceptsPipelineScripts(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("read_verilog design.v\nlink\ncreate_clock -period 0.8 [get_ports clk]\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "set_max_fanout %d [current_design]\n", 8+i%8)
+	}
+	b.WriteString("compile -map_effort high\noptimize_registers\nreport_qor\n")
+	if _, err := ParseScript(b.String()); err != nil {
+		t.Fatalf("default budget rejected a legitimate script: %v", err)
+	}
+	if issues := ValidateScript(b.String()); len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+}

@@ -1,0 +1,79 @@
+package verilog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/inputlimits"
+)
+
+// fuzzBudget is deliberately tighter than the serving default so the fuzzer
+// spends its time exploring parser states instead of grinding through huge
+// accepted inputs. Correctness is budget-independent: any input must either
+// parse or return an error, never panic or hang.
+var fuzzBudget = inputlimits.Budget{
+	MaxBytes:      1 << 16,
+	MaxTokens:     1 << 14,
+	MaxDepth:      64,
+	MaxStatements: 1 << 10,
+	MaxSteps:      1 << 17,
+}
+
+// FuzzParseVerilog asserts the two hardening invariants on arbitrary input:
+// the parser never panics and always terminates within its budget, and —
+// the round-trip property — every expression in an accepted input prints to
+// text that re-parses to an expression printing identically.
+func FuzzParseVerilog(f *testing.F) {
+	seeds := []string{
+		"module m(input a, output y); assign y = ~a; endmodule",
+		"module m(input clk, input [7:0] d, output reg [7:0] q); always @(posedge clk) q <= d; endmodule",
+		"module m #(parameter W = 8)(input [W-1:0] a, output [W-1:0] y); assign y = a + 8'hFF; endmodule",
+		"module top(a, y); input a; output y; not g1 (y, a); endmodule",
+		"module m(input a, b, s, output y); assign y = s ? a : b; endmodule",
+		"module m(input [3:0] a, output y); assign y = &a[3:1] | a[0]; endmodule",
+		"module m(input clk, rst, d, output reg q); always @(posedge clk or posedge rst) begin if (rst) q <= 1'b0; else q <= d; end endmodule",
+		"module m(input a, output y); sub #(.W(4)) u0 (.i(a), .o(y)); endmodule",
+		"module m(output [7:0] y); assign y = {4'b1010, {2{2'b01}}}; endmodule",
+		"module m; wire w; /* comment */ // line\nendmodule",
+		"module m(((((",
+		"module m; assign y = ~~~~~~~~x; endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseWithBudget(src, fuzzBudget)
+		if err != nil {
+			return
+		}
+		for _, m := range file.Modules {
+			for _, it := range m.Items {
+				if a, ok := it.(*Assign); ok {
+					checkExprRoundTrip(t, a.LHS)
+					checkExprRoundTrip(t, a.RHS)
+				}
+			}
+		}
+	})
+}
+
+// checkExprRoundTrip prints e, re-parses the result, and requires the
+// re-parsed expression to print identically.
+func checkExprRoundTrip(t *testing.T, e Expr) {
+	t.Helper()
+	printed := e.String()
+	src := fmt.Sprintf("module t; assign y = %s; endmodule", printed)
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatalf("printed expression %q does not re-parse: %v", printed, err)
+	}
+	for _, it := range m.Items {
+		if a, ok := it.(*Assign); ok {
+			if got := a.RHS.String(); got != printed {
+				t.Fatalf("round trip changed expression:\n  in:  %s\n  out: %s", printed, got)
+			}
+			return
+		}
+	}
+	t.Fatalf("no assign found after re-parsing %q", printed)
+}

@@ -1,0 +1,111 @@
+package verilog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/inputlimits"
+	"repro/internal/resilience"
+)
+
+// TestParseMalformedInputs is the malformed-input regression corpus:
+// truncated, garbage, and adversarially nested sources must all return a
+// typed error (or parse) without panicking or hanging.
+func TestParseMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"garbage", "\x00\xff\xfe garbage !!!"},
+		{"truncated module header", "module"},
+		{"truncated port list", "module m(input a"},
+		{"missing endmodule", "module m(input a, output y); assign y = a;"},
+		{"unterminated comment", "module m; /* never closed"},
+		{"unterminated string directive", "module m; `define X \"abc"},
+		{"bad number base", "module m; assign y = 4'q0; endmodule"},
+		{"based literal no digits", "module m; assign y = 8'h; endmodule"},
+		{"overflowing width", "module m; assign y = 99999999999999999999'h0; endmodule"},
+		{"keyword as identifier", "module module; endmodule"},
+		{"stray punct", "module m; ; endmodule"},
+		{"deep parens", "module m; assign y = " + strings.Repeat("(", 100000) + "a"},
+		{"deep unary chain", "module m; assign y = " + strings.Repeat("~", 100000) + "a; endmodule"},
+		{"deep ternary", "module m; assign y = " + strings.Repeat("a ? ", 50000) + "b" + strings.Repeat(" : c", 50000) + "; endmodule"},
+		{"deep concat", "module m; assign y = " + strings.Repeat("{", 80000) + "a"},
+		{"deep if nesting", "module m(input c, d, output reg q); always @(posedge c) " + strings.Repeat("if (d) ", 60000) + "q <= d; endmodule"},
+		{"many modules", strings.Repeat("module m; endmodule\n", 5000)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// A panic or stack overflow fails the test by crashing; a hang
+			// fails via the test timeout. Anything else — error or clean
+			// parse — is acceptable here.
+			_, err := Parse(tc.src)
+			t.Logf("Parse: %v", err)
+		})
+	}
+}
+
+// TestParseBudgetTyped asserts budget violations surface as typed
+// *inputlimits.LimitError values in the resilience taxonomy.
+func TestParseBudgetTyped(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		budget inputlimits.Budget
+		limit  inputlimits.Limit
+	}{
+		{"bytes", strings.Repeat("x", 100), inputlimits.Budget{MaxBytes: 10}, inputlimits.LimitBytes},
+		{"tokens", "module m; wire " + strings.Repeat("a, ", 100) + "b; endmodule", inputlimits.Budget{MaxTokens: 16}, inputlimits.LimitTokens},
+		{"depth", "module m; assign y = ((((((((a)))))))); endmodule", inputlimits.Budget{MaxDepth: 4}, inputlimits.LimitDepth},
+		{"statements", "module m; wire a; wire b; wire c; endmodule", inputlimits.Budget{MaxStatements: 2}, inputlimits.LimitStatements},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseWithBudget(tc.src, tc.budget)
+			var le *inputlimits.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("want *inputlimits.LimitError, got %v", err)
+			}
+			if le.Limit != tc.limit {
+				t.Fatalf("tripped %q, want %q", le.Limit, tc.limit)
+			}
+			if !errors.Is(err, resilience.ErrBudgetExceeded) {
+				t.Fatalf("error %v must map to resilience.ErrBudgetExceeded", err)
+			}
+		})
+	}
+}
+
+// TestDefaultBudgetBoundsDeepNesting: under the serving defaults, an input
+// built purely to blow the parser stack is rejected by the depth budget
+// instead of crashing the process.
+func TestDefaultBudgetBoundsDeepNesting(t *testing.T) {
+	src := "module m; assign y = " + strings.Repeat("(", 1<<20) + "a"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var le *inputlimits.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want a limit error under default budget, got %v", err)
+	}
+}
+
+// TestBudgetDoesNotRejectLegitimateDesigns: a representative synthesizable
+// module parses under the default budget unchanged.
+func TestBudgetDoesNotRejectLegitimateDesigns(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("module big(input clk, input [31:0] a, output reg [31:0] q);\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "wire t%d; assign t%d = a[%d] ^ a[%d];\n", i, i, i%32, (i+1)%32)
+	}
+	b.WriteString("always @(posedge clk) q <= a;\nendmodule\n")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("legitimate design rejected: %v", err)
+	}
+}

@@ -4,11 +4,26 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/inputlimits"
 )
 
-// Parse parses a Verilog source file.
+// Parse parses a Verilog source file under the process-default input budget.
+// Untrusted sources — external netlists, pipeline-generated RTL — always
+// come through here, so parsing provably terminates within the budget and
+// returns a typed *inputlimits.LimitError when an input exceeds it.
 func Parse(src string) (*SourceFile, error) {
-	p := &parser{lx: newLexer(src), src: src}
+	return ParseWithBudget(src, inputlimits.For(inputlimits.SurfaceVerilog))
+}
+
+// ParseWithBudget parses a Verilog source file under an explicit budget.
+// The zero budget disables all limits.
+func ParseWithBudget(src string, budget inputlimits.Budget) (*SourceFile, error) {
+	m := inputlimits.NewMeter(inputlimits.SurfaceVerilog, budget)
+	if err := m.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	p := &parser{lx: newLexer(src), src: src, meter: m}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -17,11 +32,11 @@ func Parse(src string) (*SourceFile, error) {
 		if !p.isKeyword("module") {
 			return nil, p.errorf("expected 'module', got %q", p.tok.text)
 		}
-		m, err := p.parseModule()
+		mod, err := p.parseModule()
 		if err != nil {
 			return nil, err
 		}
-		file.Modules = append(file.Modules, m)
+		file.Modules = append(file.Modules, mod)
 	}
 	return file, nil
 }
@@ -39,12 +54,20 @@ func ParseModule(src string) (*Module, error) {
 }
 
 type parser struct {
-	lx  *lexer
-	src string
-	tok token
+	lx    *lexer
+	src   string
+	tok   token
+	meter *inputlimits.Meter
+
+	// lineStart[i] is the byte offset of line i+1; built lazily so module
+	// source capture is O(1) per module instead of rescanning the file.
+	lineStart []int
 }
 
 func (p *parser) advance() error {
+	if err := p.meter.Token(); err != nil {
+		return err
+	}
 	t, err := p.lx.next()
 	if err != nil {
 		return err
@@ -52,6 +75,9 @@ func (p *parser) advance() error {
 	p.tok = t
 	return nil
 }
+
+// enter guards one level of recursive descent; pair with p.meter.Exit().
+func (p *parser) enter() error { return p.meter.Enter() }
 
 func (p *parser) errorf(format string, args ...any) error {
 	return fmt.Errorf("%s: %s", p.tok.pos, fmt.Sprintf(format, args...))
@@ -87,18 +113,26 @@ func (p *parser) expectIdent() (string, error) {
 	return name, p.advance()
 }
 
-// sourceOffset approximates the byte offset of a position for source capture.
-func sourceOffset(src string, pos Position) int {
-	line := 1
-	for i := 0; i < len(src); i++ {
-		if line == pos.Line {
-			return i + pos.Col - 1
-		}
-		if src[i] == '\n' {
-			line++
+// sourceOffset approximates the byte offset of a position for source
+// capture. The line-start index is built once per parse so capture stays
+// O(1) per module even on files with very many modules.
+func (p *parser) sourceOffset(pos Position) int {
+	if p.lineStart == nil {
+		p.lineStart = append(p.lineStart, 0)
+		for i := 0; i < len(p.src); i++ {
+			if p.src[i] == '\n' {
+				p.lineStart = append(p.lineStart, i+1)
+			}
 		}
 	}
-	return len(src)
+	if pos.Line < 1 || pos.Line > len(p.lineStart) {
+		return len(p.src)
+	}
+	off := p.lineStart[pos.Line-1] + pos.Col - 1
+	if off < 0 || off > len(p.src) {
+		off = len(p.src)
+	}
+	return off
 }
 
 func (p *parser) parseModule() (*Module, error) {
@@ -194,9 +228,14 @@ func (p *parser) parseModule() (*Module, error) {
 
 	// Body.
 	classicDecl := map[string]*Port{}
+	items := 0
 	for !p.isKeyword("endmodule") {
 		if p.tok.kind == tokEOF {
 			return nil, p.errorf("unexpected EOF inside module %s", m.Name)
+		}
+		items++
+		if err := p.meter.Statement(items); err != nil {
+			return nil, err
 		}
 		item, ports, err := p.parseItem()
 		if err != nil {
@@ -223,8 +262,8 @@ func (p *parser) parseModule() (*Module, error) {
 		m.Ports = append(m.Ports, pt)
 	}
 
-	startOff := sourceOffset(p.src, startPos)
-	endOff := sourceOffset(p.src, endPos) + len("endmodule")
+	startOff := p.sourceOffset(startPos)
+	endOff := p.sourceOffset(endPos) + len("endmodule")
 	if startOff < endOff && endOff <= len(p.src) {
 		m.Source = p.src[startOff:endOff]
 	}
@@ -644,7 +683,13 @@ func (p *parser) parseAlways(pos Position) (Item, error) {
 }
 
 // parseStmtBlock parses either a begin/end block or a single statement.
+// Statement nesting (if/else chains, nested begin/end) recurses through
+// here, so the depth guard bounds it.
 func (p *parser) parseStmtBlock() ([]Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.meter.Exit()
 	if p.isKeyword("begin") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -740,6 +785,13 @@ var binaryPrec = map[string]int{
 func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
 
 func (p *parser) parseTernary() (Expr, error) {
+	// Every expression recursion path — parenthesized primaries, concat
+	// parts, ternary arms — re-enters here, so this guard alone bounds
+	// expression nesting (unary chains are guarded separately).
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.meter.Exit()
 	cond, err := p.parseBinary(1)
 	if err != nil {
 		return nil, err
@@ -797,6 +849,11 @@ var unaryOps = map[string]bool{
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	// "~~~~...x" recurses without passing through parseTernary; bound it.
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.meter.Exit()
 	if p.tok.kind == tokPunct && unaryOps[p.tok.text] {
 		op := p.tok.text
 		pos := p.tok.pos
