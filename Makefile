@@ -29,14 +29,16 @@ BENCH ?= Elaborate|Compile|Customize|Embed
 bench:
 	$(GO) test -bench='$(BENCH)' -benchmem -run=^$$ .
 
-# Headline perf record: runs the two paper-scale benchmarks five times each
-# and writes the averaged ns/op, B/op, allocs/op to BENCH_3.json for
-# comparison against earlier checked-in records.
-COMPARE ?= Table2DatabaseBuild|Table4Baseline
+# Headline perf record: runs the paper-scale benchmarks and the
+# checkpointing pair five times each and writes the averaged ns/op, B/op,
+# allocs/op to BENCH_4.json for comparison against earlier checked-in
+# records. CompileUltraSwerv matches both the fresh and the checkpointed
+# variant; their ratio is the elaboration-checkpoint speedup.
+COMPARE ?= Table2DatabaseBuild|Table4Baseline|CompileUltraSwerv|CheckpointRestore
 bench-compare:
 	$(GO) test -bench='$(COMPARE)' -benchmem -benchtime=1x -count=5 -run=^$$ . \
-		| $(GO) run ./cmd/benchjson > BENCH_3.json
-	@cat BENCH_3.json
+		| $(GO) run ./cmd/benchjson > BENCH_4.json
+	@cat BENCH_4.json
 
 ci: build vet race
 

@@ -194,6 +194,65 @@ func BenchmarkCompileUltraSwerv(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileUltraSwervCheckpointed is BenchmarkCompileUltraSwerv with
+// a warmed elaboration-checkpoint store: every iteration restores SweRV's
+// post-link state from the snapshot instead of re-parsing and
+// re-elaborating, leaving only the compile_ultra flow itself. The ratio to
+// the uncheckpointed benchmark is the Pass@k repeat-run speedup.
+func BenchmarkCompileUltraSwervCheckpointed(b *testing.B) {
+	d := designs.SweRV()
+	lib := liberty.Nangate45()
+	script := llm.SpliceScript(d.BaselineScript(), []string{"compile_ultra -retime"})
+	store := synth.NewCheckpointStore(0)
+	warm := synth.NewSession(lib)
+	warm.Checkpoints = store
+	warm.AddSource(d.FileName, d.Source)
+	if _, err := warm.Run(script); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := synth.NewSession(lib)
+		sess.Checkpoints = store
+		sess.AddSource(d.FileName, d.Source)
+		if _, err := sess.Run(script); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if store.Stats().Hits == 0 {
+		b.Fatal("no checkpoint hits: the store never restored")
+	}
+}
+
+// BenchmarkCheckpointRestore isolates the restore path itself: elaborate
+// SweRV once, then measure only the snapshot-clone-and-resume of the link
+// prefix (no compile). Compare against BenchmarkElaborateJPEG-style fresh
+// elaboration to see what a hit saves.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	d := designs.SweRV()
+	lib := liberty.Nangate45()
+	prefix := "read_verilog " + d.FileName + "\ncurrent_design " + d.Top + "\nlink\n"
+	store := synth.NewCheckpointStore(0)
+	warm := synth.NewSession(lib)
+	warm.Checkpoints = store
+	warm.AddSource(d.FileName, d.Source)
+	if _, err := warm.Run(prefix); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := synth.NewSession(lib)
+		sess.Checkpoints = store
+		sess.AddSource(d.FileName, d.Source)
+		if _, err := sess.Run(prefix); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if store.Stats().Hits == 0 {
+		b.Fatal("no checkpoint hits: the store never restored")
+	}
+}
+
 // BenchmarkCustomizeChatLS measures one end-to-end ChatLS customization
 // (analysis + retrieval + generation + CoT refinement), excluding the
 // synthesis run.

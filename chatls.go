@@ -60,7 +60,17 @@ type Task struct {
 // problem the way the paper's flow does (user provides design, script, and
 // tool reports). The context bounds the baseline synthesis run.
 func NewTask(ctx context.Context, d *designs.Design, lib *liberty.Library) (*Task, synth.QoR, error) {
+	return NewTaskWith(ctx, d, lib, nil)
+}
+
+// NewTaskWith is NewTask with an optional shared elaboration-checkpoint
+// store: the baseline synthesis restores the design's post-link state from
+// the store when a prior run elaborated the same sources, and captures it
+// for later runs otherwise. Results are bit-identical with or without the
+// store (nil disables checkpointing).
+func NewTaskWith(ctx context.Context, d *designs.Design, lib *liberty.Library, ckpt *synth.CheckpointStore) (*Task, synth.QoR, error) {
 	sess := synth.NewSession(lib)
+	sess.Checkpoints = ckpt
 	sess.AddSource(d.FileName, d.Source)
 	res, err := sess.RunContext(ctx, d.BaselineScript())
 	if err != nil {

@@ -1,0 +1,101 @@
+package chatls
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/synth"
+)
+
+// checkpointCorpus is every design the repo ships with a baseline script:
+// the Table IV benchmarks plus the Table II database corpus.
+func checkpointCorpus(t *testing.T) []*designs.Design {
+	t.Helper()
+	all := append(designs.Benchmarks(), designs.DatabaseDesigns()...)
+	if testing.Short() {
+		return all[:3]
+	}
+	return all
+}
+
+// runBaseline executes a design's script in one session, optionally attached
+// to a shared checkpoint store, and canonicalizes the observable output —
+// QoR, every report, every written netlist, the transcript — for byte
+// comparison.
+func runBaseline(t *testing.T, d *designs.Design, store *synth.CheckpointStore, script string) string {
+	t.Helper()
+	sess := synth.NewSession(liberty.Nangate45())
+	sess.Checkpoints = store
+	sess.AddSource(d.FileName, d.Source)
+	res, err := sess.RunContext(context.Background(), script)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name, err)
+	}
+	b, err := json.Marshal(struct {
+		QoR      *synth.QoR
+		Reports  []string
+		Netlists []string
+		Log      []string
+	}{res.QoR, res.Reports, res.Netlists, res.Log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCheckpointEquivalenceCorpus: for every shipped design, a
+// checkpoint-restored baseline run emits byte-identical output to a fresh
+// run — QoR, reports, written netlist, and transcript. Designs run in
+// parallel against one shared store, so under -race this also hammers the
+// store's concurrency. The first checkpointed run captures (miss), the
+// second restores (hit); both must match the uncheckpointed run exactly.
+func TestCheckpointEquivalenceCorpus(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	store := synth.NewCheckpointStore(len(corpus) + 1)
+	for _, d := range corpus {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			script := d.BaselineScript() + "write\n"
+			fresh := runBaseline(t, d, nil, script)
+			if miss := runBaseline(t, d, store, script); miss != fresh {
+				t.Error("capture-path run differs from fresh run")
+			}
+			if hit := runBaseline(t, d, store, script); hit != fresh {
+				t.Error("restored run differs from fresh run")
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoreSurvivesMutation: heavyweight netlist mutation on a
+// restored design — compile_ultra with retiming, register optimization,
+// buffer rebalancing, ungrouping — never perturbs the snapshot later runs
+// restore from. Each mutating run and each pristine re-run must keep
+// producing its first output byte for byte.
+func TestCheckpointRestoreSurvivesMutation(t *testing.T) {
+	d := designs.EthMAC()
+	store := synth.NewCheckpointStore(2)
+	baseline := d.BaselineScript()
+	mutating := llm.SpliceScript(baseline, []string{
+		"compile_ultra -retime", "optimize_registers", "balance_buffers", "ungroup -all",
+	}) + "write\n"
+
+	wantBase := runBaseline(t, d, store, baseline)
+	wantMut := runBaseline(t, d, store, mutating)
+	for i := 0; i < 3; i++ {
+		if got := runBaseline(t, d, store, mutating); got != wantMut {
+			t.Fatalf("mutating run %d diverged: the snapshot was perturbed", i)
+		}
+		if got := runBaseline(t, d, store, baseline); got != wantBase {
+			t.Fatalf("baseline run %d diverged after interleaved mutations", i)
+		}
+	}
+	if store.Stats().Hits == 0 {
+		t.Fatal("runs never restored from the store")
+	}
+}

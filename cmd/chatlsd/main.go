@@ -41,6 +41,7 @@ func main() {
 	taskCache := flag.Int("task-cache", 16, "baseline-task cache entries")
 	embedCache := flag.Int("embed-cache", 64, "design-embedding cache entries")
 	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
+	checkpointCap := flag.Int("checkpoint-cap", 0, "elaboration-checkpoint store entries (0 = default, negative disables)")
 	defaultK := flag.Int("k", 1, "default Pass@k samples per request")
 	maxK := flag.Int("max-k", 10, "largest k a request may ask for")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
@@ -99,6 +100,7 @@ func main() {
 		TaskCacheSize:     *taskCache,
 		EmbedCacheSize:    *embedCache,
 		RetrieveCacheSize: *retrieveCache,
+		CheckpointCap:     *checkpointCap,
 		DefaultK:          *defaultK,
 		MaxK:              *maxK,
 		MaxBodyBytes:      *maxBody,

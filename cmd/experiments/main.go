@@ -20,6 +20,7 @@ import (
 
 	chatls "repro"
 	"repro/internal/designs"
+	"repro/internal/synth"
 	"repro/internal/synthrag"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	k := flag.Int("k", 0, "override Pass@k sample count")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited)")
 	workers := flag.Int("workers", 1, "concurrent Pass@k sample workers (1 = paper's serial protocol)")
+	checkpoints := flag.Bool("checkpoints", true, "share elaboration checkpoints across synthesis runs (results are bit-identical either way)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -51,6 +53,9 @@ func main() {
 		cfg.K = *k
 	}
 	cfg.Workers = *workers
+	if *checkpoints {
+		cfg.Checkpoints = synth.NewCheckpointStore(0)
+	}
 
 	wantTable := func(n int) bool { return *all || *table == n }
 	wantFig := func(n int) bool { return *all || *fig == n }

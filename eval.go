@@ -59,6 +59,19 @@ type degradationReporter interface {
 	Degradation() *resilience.DegradationReport
 }
 
+// EvalOptions tunes how a Pass@k evaluation runs. The zero value is the
+// paper's serial protocol with no checkpoint sharing.
+type EvalOptions struct {
+	// Workers bounds sample-evaluation concurrency; <= 1 is the serial
+	// protocol. See RunPassKParallel for the concurrency contract.
+	Workers int
+	// Checkpoints, when non-nil, is a shared elaboration-checkpoint store:
+	// every sample's synthesis run (and the baseline, for entry points that
+	// build the task) restores post-link state from it instead of
+	// re-elaborating identical sources. Results are bit-identical either way.
+	Checkpoints *synth.CheckpointStore
+}
+
 // RunPassK evaluates a pipeline on a design with k samples (the paper's
 // Pass@5 protocol): each sample's script runs through the synthesis tool;
 // scripts that fail (hallucinated commands, bad options) count as invalid;
@@ -69,7 +82,7 @@ type degradationReporter interface {
 // records the error in the sample and the remaining samples still run.
 // Only context cancellation/timeout aborts the whole evaluation.
 func RunPassK(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library) (EvalResult, error) {
-	return RunPassKParallel(ctx, p, d, k, lib, 1)
+	return RunPassKOpts(ctx, p, d, k, lib, EvalOptions{})
 }
 
 // RunPassKParallel is RunPassK with the k samples evaluated on a bounded
@@ -79,17 +92,29 @@ func RunPassK(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *li
 // stateless Pipeline) and yields the same samples, best, and counts — only
 // wall-clock changes, because every sample is seeded by its index.
 func RunPassKParallel(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library, workers int) (EvalResult, error) {
-	task, baseQoR, err := NewTask(ctx, d, lib)
+	return RunPassKOpts(ctx, p, d, k, lib, EvalOptions{Workers: workers})
+}
+
+// RunPassKOpts is RunPassK with explicit options (worker pool, shared
+// checkpoint store).
+func RunPassKOpts(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library, opts EvalOptions) (EvalResult, error) {
+	task, baseQoR, err := NewTaskWith(ctx, d, lib, opts.Checkpoints)
 	if err != nil {
 		return EvalResult{}, err
 	}
-	return EvalTask(ctx, p, task, baseQoR, k, lib, workers)
+	return EvalTaskOpts(ctx, p, task, baseQoR, k, lib, opts)
 }
 
 // EvalTask runs the Pass@k evaluation over an already-constructed task —
 // the entry point for callers that cache baseline synthesis (the serving
 // daemon). See RunPassKParallel for the workers contract.
 func EvalTask(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR, k int, lib *liberty.Library, workers int) (EvalResult, error) {
+	return EvalTaskOpts(ctx, p, task, baseQoR, k, lib, EvalOptions{Workers: workers})
+}
+
+// EvalTaskOpts is EvalTask with explicit options.
+func EvalTaskOpts(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR, k int, lib *liberty.Library, opts EvalOptions) (EvalResult, error) {
+	workers := opts.Workers
 	res := EvalResult{
 		Pipeline:   p.Name(),
 		Design:     task.Design.Name,
@@ -104,7 +129,7 @@ func EvalTask(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR, k 
 
 	if workers <= 1 {
 		for s := 0; s < k; s++ {
-			out, fatal := evalSample(ctx, p, task, lib, s)
+			out, fatal := evalSample(ctx, p, task, lib, s, opts.Checkpoints)
 			if fatal != nil && out == nil {
 				return res, fatal
 			}
@@ -126,7 +151,7 @@ func EvalTask(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR, k 
 	for s := 0; s < k; s++ {
 		s := s
 		pool.TrySubmit(func() {
-			slots[s].out, slots[s].fatal = evalSample(ctx, p, task, lib, s)
+			slots[s].out, slots[s].fatal = evalSample(ctx, p, task, lib, s, opts.Checkpoints)
 		})
 	}
 	pool.Close()
@@ -163,7 +188,7 @@ func accumulate(res *EvalResult, out SampleOutcome, s int) {
 // (fatal Customize error); a non-nil outcome with a non-nil error means the
 // sample is recorded and the evaluation must then abort (fatal synthesis
 // error).
-func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int) (*SampleOutcome, error) {
+func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int, ckpt *synth.CheckpointStore) (*SampleOutcome, error) {
 	var script string
 	var out SampleOutcome
 	if rp, ok := p.(ResultPipeline); ok {
@@ -193,6 +218,7 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 		}
 	}
 	sess := synth.NewSession(lib)
+	sess.Checkpoints = ckpt
 	sess.AddSource(task.Design.FileName, task.Design.Source)
 	run, err := sess.RunContext(ctx, script)
 	if err != nil {

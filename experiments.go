@@ -73,6 +73,12 @@ type ExperimentConfig struct {
 	Lib      *liberty.Library
 	Designs  []*designs.Design // nil = the full Table IV benchmark set
 	SoCCount int               // Fig. 5 query workload size
+	// Checkpoints, when non-nil, is shared across every synthesis run of the
+	// experiment: Pass@k samples, baselines, and iterative-resynthesis rounds
+	// restore post-link elaboration state instead of re-parsing identical
+	// sources. Results are bit-identical with or without it (nil disables
+	// checkpointing); only wall-clock changes.
+	Checkpoints *synth.CheckpointStore
 }
 
 // DefaultConfig matches the paper's protocol.
@@ -140,7 +146,7 @@ func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	}
 	results := make([]outcome, len(cfg.Designs))
 	workpool.Run(workers, len(cfg.Designs), func(i int) {
-		_, q, err := NewTask(ctx, cfg.Designs[i], cfg.Lib)
+		_, q, err := NewTaskWith(ctx, cfg.Designs[i], cfg.Lib, cfg.Checkpoints)
 		results[i] = outcome{q: q, err: err}
 	})
 	var rows []Table4Row
@@ -213,7 +219,7 @@ func Table3(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([
 		row := Table3Row{Design: d.Name}
 		failed := false
 		for _, p := range pipelines {
-			res, err := RunPassKParallel(ctx, p, d, cfg.K, cfg.Lib, cfg.Workers)
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints})
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err
@@ -555,7 +561,7 @@ func Ablations(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database)
 	for _, variant := range AblationVariants {
 		p := mk(variant)
 		for _, d := range cfg.Designs {
-			res, err := RunPassKParallel(ctx, p, d, cfg.K, cfg.Lib, cfg.Workers)
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints})
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err
@@ -601,7 +607,7 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 	var errs SweepErrors
 	for _, d := range cfg.Designs {
 		p := NewChatLS(llm.New(llm.GPT4o, cfg.Seed), db)
-		task, q, err := NewTask(ctx, d, cfg.Lib)
+		task, q, err := NewTaskWith(ctx, d, cfg.Lib, cfg.Checkpoints)
 		if err != nil {
 			if resilience.IsFatal(err) {
 				return rows, err
@@ -628,6 +634,7 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 				continue
 			}
 			sess := synth.NewSession(cfg.Lib)
+			sess.Checkpoints = cfg.Checkpoints
 			sess.AddSource(d.FileName, d.Source)
 			res, err := sess.RunContext(ctx, next)
 			if err != nil {

@@ -24,7 +24,7 @@ type Cache[K comparable, V any] struct {
 	ll    *list.List // front = most recent
 	items map[K]*list.Element
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 // New creates a cache holding at most capacity entries (capacity < 1 is
@@ -70,6 +70,7 @@ func (c *Cache[K, V]) Add(key K, val V) {
 		if back != nil {
 			c.ll.Remove(back)
 			delete(c.items, back.Value.(*entry[K, V]).key)
+			c.evictions.Add(1)
 		}
 	}
 	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
@@ -87,3 +88,7 @@ func (c *Cache[K, V]) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the number of Get calls that did not find their key.
 func (c *Cache[K, V]) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns the number of entries displaced by capacity pressure
+// (updates of an existing key do not count).
+func (c *Cache[K, V]) Evictions() int64 { return c.evictions.Load() }

@@ -1,0 +1,163 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/verilog"
+)
+
+// cloneTestNetlist elaborates a small sequential design with hierarchy so
+// the clone has flops, a clock, a reset-free path, and groups to copy.
+func cloneTestNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	src := `
+module add (input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = a + b;
+endmodule
+module top (input clk, input [3:0] a, input [3:0] b, output [3:0] q);
+  wire [3:0] s;
+  reg [3:0] r;
+  add u0 (.a(a), .b(b), .y(s));
+  always @(posedge clk) r <= s;
+  assign q = r;
+endmodule
+`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Elaborate(f, "top", nil, liberty.Nangate45())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestCloneExactCopy(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	cp := nl.Clone()
+
+	if err := cp.Check(); err != nil {
+		t.Fatalf("clone fails invariant check: %v", err)
+	}
+	if cp.Name != nl.Name || cp.Lib != nl.Lib {
+		t.Fatalf("name/lib mismatch: %q %p vs %q %p", cp.Name, cp.Lib, nl.Name, nl.Lib)
+	}
+	if cp.Gen() != nl.Gen() || cp.TopoGen() != nl.TopoGen() {
+		t.Fatalf("generations not preserved: (%d,%d) vs (%d,%d)", cp.Gen(), cp.TopoGen(), nl.Gen(), nl.TopoGen())
+	}
+	if cp.NetIDBound() != nl.NetIDBound() || cp.CellIDBound() != nl.CellIDBound() {
+		t.Fatalf("ID bounds not preserved")
+	}
+	if len(cp.Cells) != len(nl.Cells) || len(cp.Nets) != len(nl.Nets) {
+		t.Fatalf("object counts differ: %d/%d cells, %d/%d nets",
+			len(cp.Cells), len(nl.Cells), len(cp.Nets), len(nl.Nets))
+	}
+	for i := range nl.Cells {
+		a, b := nl.Cells[i], cp.Cells[i]
+		if a == b {
+			t.Fatalf("cell %d aliases the original", i)
+		}
+		if a.ID != b.ID || a.Name != b.Name || a.Ref != b.Ref || a.Module != b.Module ||
+			a.Group != b.Group || a.Fixed != b.Fixed {
+			t.Fatalf("cell %d fields differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("cell %d input counts differ", i)
+		}
+		for j := range a.Inputs {
+			if a.Inputs[j].ID != b.Inputs[j].ID {
+				t.Fatalf("cell %d input %d net ID differs", i, j)
+			}
+			if a.Inputs[j] == b.Inputs[j] {
+				t.Fatalf("cell %d input %d aliases the original net", i, j)
+			}
+		}
+		if a.Output.ID != b.Output.ID {
+			t.Fatalf("cell %d output net ID differs", i)
+		}
+		if (a.Clock == nil) != (b.Clock == nil) || (a.Reset == nil) != (b.Reset == nil) {
+			t.Fatalf("cell %d clock/reset shape differs", i)
+		}
+	}
+	for i := range nl.Nets {
+		a, b := nl.Nets[i], cp.Nets[i]
+		if a == b {
+			t.Fatalf("net %d aliases the original", i)
+		}
+		if a.ID != b.ID || a.Name != b.Name || a.PI != b.PI || a.PO != b.PO ||
+			a.Const != b.Const || a.Val != b.Val || a.IsClk != b.IsClk || a.IsRst != b.IsRst {
+			t.Fatalf("net %d fields differ", i)
+		}
+		if len(a.Sinks) != len(b.Sinks) {
+			t.Fatalf("net %d sink counts differ", i)
+		}
+		for j := range a.Sinks {
+			if a.Sinks[j].Cell.ID != b.Sinks[j].Cell.ID || a.Sinks[j].Index != b.Sinks[j].Index {
+				t.Fatalf("net %d sink %d order not preserved", i, j)
+			}
+		}
+		if (a.Driver == nil) != (b.Driver == nil) {
+			t.Fatalf("net %d driver shape differs", i)
+		}
+		if a.Driver != nil && a.Driver.ID != b.Driver.ID {
+			t.Fatalf("net %d driver differs", i)
+		}
+	}
+	if (nl.ClkNet == nil) != (cp.ClkNet == nil) {
+		t.Fatalf("clk net shape differs")
+	}
+	if nl.ClkNet != nil && nl.ClkNet == cp.ClkNet {
+		t.Fatalf("clk net aliases the original")
+	}
+	if WriteVerilog(cp) != WriteVerilog(nl) {
+		t.Fatalf("structural verilog of clone differs from original")
+	}
+}
+
+// TestCloneIsolation mutates clone and original independently and checks
+// that neither observes the other's edits.
+func TestCloneIsolation(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	before := WriteVerilog(nl)
+	cp := nl.Clone()
+
+	// Mutate the clone: resize a cell, ungroup, remove a cell, add a buffer.
+	for _, c := range cp.Cells {
+		if c.IsSeq() {
+			continue
+		}
+		if up := cp.Lib.Upsize(c.Ref); up != c.Ref {
+			if err := cp.Resize(c, up); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	cp.Ungroup("")
+	cp.NewNet("scratch")
+
+	if got := WriteVerilog(nl); got != before {
+		t.Fatalf("mutating the clone changed the original netlist")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatalf("original fails check after clone mutation: %v", err)
+	}
+	for _, c := range nl.Cells {
+		if c.Group == "" && nl.Groups[""] == 0 {
+			t.Fatalf("original cell %s lost its group", c.Name)
+		}
+	}
+
+	// Mutate the original; the clone's structure must not move either.
+	cpBefore := WriteVerilog(cp)
+	nl.Ungroup("")
+	nl.NewNet("scratch2")
+	if got := WriteVerilog(cp); got != cpBefore {
+		t.Fatalf("mutating the original changed the clone")
+	}
+	if err := cp.Check(); err != nil {
+		t.Fatalf("clone fails check after original mutation: %v", err)
+	}
+}

@@ -58,6 +58,13 @@ type Config struct {
 	EmbedCacheSize    int // design-embedding LRU entries (default 64)
 	RetrieveCacheSize int // strategy-retrieval LRU entries (default 256)
 
+	// CheckpointCap bounds the process-wide elaboration-checkpoint store:
+	// every synthesis run the daemon executes (baselines and Pass@k samples
+	// alike) restores post-link compile state from it instead of
+	// re-elaborating identical sources. 0 selects
+	// synth.DefaultCheckpointCap; negative disables checkpointing.
+	CheckpointCap int
+
 	DefaultK int // Pass@k when the request omits k (default 1)
 	MaxK     int // upper bound on requested k (default 10)
 
@@ -80,6 +87,7 @@ type Server struct {
 	pool   *workpool.Pool
 	flight *flightGroup
 	tasks  *lru.Cache[string, taskEntry]
+	ckpt   *synth.CheckpointStore // nil when CheckpointCap < 0
 	reg    *metrics.Registry
 	closed atomic.Bool
 
@@ -157,6 +165,9 @@ func New(cfg Config) (*Server, error) {
 		tasks:  lru.New[string, taskEntry](cfg.TaskCacheSize),
 		reg:    metrics.NewRegistry(),
 	}
+	if cfg.CheckpointCap >= 0 {
+		s.ckpt = synth.NewCheckpointStore(cfg.CheckpointCap)
+	}
 	for _, d := range cfg.Designs {
 		s.byName[d.Name] = d
 	}
@@ -180,6 +191,12 @@ func New(cfg Config) (*Server, error) {
 		func() int64 { return cfg.DB.CacheStats().RetrieveHits })
 	s.reg.NewCounterFunc("chatlsd_retrieve_cache_misses_total", "strategy-retrieval cache misses",
 		func() int64 { return cfg.DB.CacheStats().RetrieveMisses })
+	s.reg.NewCounterFunc("synth_checkpoint_hits_total", "synthesis runs restored from an elaboration checkpoint",
+		func() int64 { return s.ckpt.Stats().Hits })
+	s.reg.NewCounterFunc("synth_checkpoint_misses_total", "checkpointable synthesis runs that elaborated fresh",
+		func() int64 { return s.ckpt.Stats().Misses })
+	s.reg.NewCounterFunc("synth_checkpoint_evictions_total", "elaboration checkpoints displaced by capacity pressure",
+		func() int64 { return s.ckpt.Stats().Evictions })
 	s.reg.NewGaugeFunc("chatlsd_queue_depth", "tasks waiting in the worker-pool queue",
 		func() int64 { return int64(s.pool.Queued()) })
 	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
@@ -390,7 +407,8 @@ func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customi
 	t := *task
 	t.Requirement = req.Requirement
 
-	res, err := chatls.EvalTask(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib, 1)
+	res, err := chatls.EvalTaskOpts(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib,
+		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt})
 	if err != nil {
 		s.countErr(err)
 		return nil, err
@@ -432,7 +450,7 @@ func (s *Server) baselineTask(ctx context.Context, d *designs.Design) (*chatls.T
 	if e, ok := s.tasks.Get(key); ok {
 		return e.task, e.qor, nil
 	}
-	task, qor, err := chatls.NewTask(ctx, d, s.cfg.Lib)
+	task, qor, err := chatls.NewTaskWith(ctx, d, s.cfg.Lib, s.ckpt)
 	if err != nil {
 		return nil, synth.QoR{}, err
 	}

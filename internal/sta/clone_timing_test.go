@@ -1,0 +1,92 @@
+package sta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/sta"
+)
+
+// TestCloneTimingBitIdentical: timing analysis of a netlist clone reproduces
+// the original's analysis exactly — the property the elaboration-checkpoint
+// restore path relies on for bit-identical QoR reports. Exact float equality,
+// not tolerance: the clone preserves every slice order the float accumulation
+// depends on.
+func TestCloneTimingBitIdentical(t *testing.T) {
+	for _, d := range corpus(t) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			nl := elaborate(t, d)
+			cp := nl.Clone()
+			wl := eqLib.WireLoad("5K_heavy_1k")
+			cons := sta.Constraints{Period: d.Period}
+			tmO, err := sta.Analyze(nl, wl, cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tmC, err := sta.Analyze(cp, wl, cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tmO.WNS() != tmC.WNS() || tmO.TNS() != tmC.TNS() || tmO.CPS() != tmC.CPS() {
+				t.Fatalf("headline metrics differ: (%v %v %v) vs (%v %v %v)",
+					tmO.WNS(), tmO.TNS(), tmO.CPS(), tmC.WNS(), tmC.TNS(), tmC.CPS())
+			}
+			for i := range nl.Nets {
+				a, b := nl.Nets[i], cp.Nets[i]
+				if tmO.Arrival(a) != tmC.Arrival(b) || tmO.Required(a) != tmC.Required(b) {
+					t.Fatalf("net %s: arrival/required differ on the clone", a.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestCloneTimingGenerationHandoff: the clone carries the original's edit
+// generations, so incremental timing on a restored design behaves exactly
+// like it would on the fresh one — edits to the clone advance only the
+// clone's generations, its Timing updates incrementally to the full-analysis
+// result, and the original's Timing stays current (Update is a no-op).
+func TestCloneTimingGenerationHandoff(t *testing.T) {
+	nl := elaborate(t, designs.EthMAC())
+	cp := nl.Clone()
+	if cp.Gen() != nl.Gen() || cp.TopoGen() != nl.TopoGen() {
+		t.Fatalf("clone generations (%d,%d) differ from original (%d,%d)",
+			cp.Gen(), cp.TopoGen(), nl.Gen(), nl.TopoGen())
+	}
+	wl := eqLib.WireLoad("5K_heavy_1k")
+	cons := sta.Constraints{Period: designs.EthMAC().Period}
+	tmO, err := sta.Analyze(nl, wl, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmC, err := sta.Analyze(cp, wl, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	changed := resizeRandom(cp, rng, 8)
+	if len(changed) == 0 {
+		t.Fatal("no cells resized")
+	}
+	if cp.Gen() == nl.Gen() {
+		t.Fatal("clone edits did not advance the clone's generation")
+	}
+	if err := tmC.Update(changed); err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, "clone", tmC, cp, wl, cons)
+
+	// The original is untouched by the clone's edits: its Timing is still
+	// current and Update has nothing to do.
+	wns, tns := tmO.WNS(), tmO.TNS()
+	if err := tmO.Update(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tmO.WNS() != wns || tmO.TNS() != tns {
+		t.Fatalf("original timing moved after clone edits: WNS %v->%v TNS %v->%v",
+			wns, tmO.WNS(), tns, tmO.TNS())
+	}
+}

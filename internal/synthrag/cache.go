@@ -62,33 +62,44 @@ func (db *Database) CacheStats() CacheStats {
 	}
 }
 
-// embedKey identifies a design source for the embedding cache.
+// embedKey identifies a design source for the embedding cache. The source
+// length feeds the hash stream alongside the bytes so two sources never
+// collapse to one key through hash-input ambiguity — a wrong embedding served
+// from the cache would silently corrupt retrieval.
 func embedKey(src, top string) string {
 	h := fnv.New64a()
-	h.Write([]byte(src))
 	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(src)))
+	h.Write(b[:])
+	h.Write([]byte(src))
 	binary.LittleEndian.PutUint64(b[:], h.Sum64())
 	return top + "\x00" + string(b[:])
 }
 
 // retrieveKey identifies one retrieval request: the query embedding bits,
-// the trait set, and the rerank parameters.
+// the trait set, and the rerank parameters. Element and trait counts (and
+// each trait's length) are framed into the stream, so the query/trait
+// boundary and trait boundaries are unambiguous: a query float can never be
+// re-read as trait bytes, and traits containing NUL cannot alias a longer
+// trait list.
 func retrieveKey(query []float64, traits []string, k int, alpha, beta, gamma float64) string {
 	h := fnv.New64a()
 	var b [8]byte
-	put := func(f float64) {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	putU := func(u uint64) {
+		binary.LittleEndian.PutUint64(b[:], u)
 		h.Write(b[:])
 	}
+	put := func(f float64) { putU(math.Float64bits(f)) }
+	putU(uint64(len(query)))
 	for _, q := range query {
 		put(q)
 	}
+	putU(uint64(len(traits)))
 	for _, t := range traits {
+		putU(uint64(len(t)))
 		h.Write([]byte(t))
-		h.Write([]byte{0})
 	}
-	binary.LittleEndian.PutUint64(b[:], uint64(k))
-	h.Write(b[:])
+	putU(uint64(k))
 	put(alpha)
 	put(beta)
 	put(gamma)
