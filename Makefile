@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke check
+.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke crash-recovery check
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,17 @@ fuzz-smoke:
 	$(GO) test ./internal/synth -run='^$$' -fuzz=FuzzParseScript -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graphdb -run='^$$' -fuzz=FuzzParseCypher -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzCustomizeRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qorlog -run='^$$' -fuzz=FuzzQoRLogRecover -fuzztime=$(FUZZTIME)
 
-# Everything CI runs plus the fuzz smoke pass.
-check: build vet race fuzz-smoke
+# Crash-recovery gate for the durable QoR log: fault-injected kills
+# mid-append and mid-recompaction, torn/corrupt-tail truncation, the
+# degrade-to-memory path, and warm-restart byte-equivalence across the
+# serving stack.
+crash-recovery:
+	$(GO) test ./internal/qorlog -race -run \
+		'TestKillDuringAppend|TestTornTailRecovery|TestCorruptRecordTruncates|TestBadHeaderResets|TestRecompactionCrashLeavesOldLogIntact|TestShortWriteRewindsAndRetries|TestStoreDegradesToMemoryOnFatalDiskError'
+	$(GO) test ./internal/server -race -run 'TestWarmRestart|TestShutdownFlushesQoRLog|TestUnopenableQoRLog'
+	$(GO) test . -race -run 'TestWarmRestartEquivalenceCorpus'
+
+# Everything CI runs plus the fuzz smoke pass and the crash-recovery gate.
+check: build vet race fuzz-smoke crash-recovery

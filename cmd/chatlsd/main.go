@@ -9,7 +9,9 @@
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new requests are refused
-// while in-flight and queued work drains.
+// while in-flight and queued work drains, then the durable QoR log (if
+// -qor-log is set) is flushed and closed so completed results survive the
+// restart. A restarted daemon warm-fills its result cache from that log.
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 	embedCache := flag.Int("embed-cache", 64, "design-embedding cache entries")
 	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
 	checkpointCap := flag.Int("checkpoint-cap", 0, "elaboration-checkpoint store entries (0 = default, negative disables)")
+	qorLog := flag.String("qor-log", "", "durable QoR log path: synthesis outcomes persist across restarts (empty disables)")
+	qorCache := flag.Int("qor-cache", 0, "in-memory QoR record cache entries in front of the log (0 = default)")
 	defaultK := flag.Int("k", 1, "default Pass@k samples per request")
 	maxK := flag.Int("max-k", 10, "largest k a request may ask for")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
@@ -101,6 +105,8 @@ func main() {
 		EmbedCacheSize:    *embedCache,
 		RetrieveCacheSize: *retrieveCache,
 		CheckpointCap:     *checkpointCap,
+		QoRLogPath:        *qorLog,
+		QoRCacheSize:      *qorCache,
 		DefaultK:          *defaultK,
 		MaxK:              *maxK,
 		MaxBodyBytes:      *maxBody,
@@ -109,6 +115,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if *qorLog != "" {
+		st := srv.QoRStats()
+		log.Printf("qor log %s: recovered %d record(s), warm-filled %d, dropped %d torn/corrupt byte(s)",
+			*qorLog, st.Recovered, st.Warmed, st.DroppedBytes)
 	}
 
 	handler := srv.Handler()
@@ -136,7 +147,11 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*(*reqTimeout))
 		defer cancel()
 		httpSrv.Shutdown(ctx)
-		srv.Close()
+		// Drain the worker pool under the same deadline, then flush and
+		// close the QoR log so every completed result survives the restart.
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v (abandoning remaining work)", err)
+		}
 	}()
 
 	log.Printf("chatlsd listening on %s (%d workers, queue %d)", *addr, *workers, *queue)

@@ -20,6 +20,7 @@ import (
 
 	chatls "repro"
 	"repro/internal/designs"
+	"repro/internal/qorlog"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
 )
@@ -36,6 +37,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = unlimited)")
 	workers := flag.Int("workers", 1, "concurrent Pass@k sample workers (1 = paper's serial protocol)")
 	checkpoints := flag.Bool("checkpoints", true, "share elaboration checkpoints across synthesis runs (results are bit-identical either way)")
+	qorLog := flag.String("qor-log", "", "durable QoR log path: sweeps over unchanged inputs are served from it and skip synthesis (empty disables)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -55,6 +57,25 @@ func main() {
 	cfg.Workers = *workers
 	if *checkpoints {
 		cfg.Checkpoints = synth.NewCheckpointStore(0)
+	}
+	if *qorLog != "" {
+		store, err := qorlog.OpenStore(*qorLog, 0, qorlog.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: cannot open QoR log %s, running without it: %v\n", *qorLog, err)
+		} else {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "qor log %s: recovered %d record(s), dropped %d torn/corrupt byte(s)\n",
+				*qorLog, st.Recovered, st.DroppedBytes)
+			cfg.Results = store
+			defer func() {
+				st := store.Stats()
+				fmt.Fprintf(os.Stderr, "qor log: %d hit(s) served without synthesis, %d new record(s) appended\n",
+					st.Hits, st.Appends)
+				if err := store.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "warning: closing QoR log:", err)
+				}
+			}()
+		}
 	}
 
 	wantTable := func(n int) bool { return *all || *table == n }

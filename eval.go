@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/designs"
 	"repro/internal/liberty"
+	"repro/internal/qorlog"
 	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/workpool"
@@ -70,6 +71,13 @@ type EvalOptions struct {
 	// build the task) restores post-link state from it instead of
 	// re-elaborating identical sources. Results are bit-identical either way.
 	Checkpoints *synth.CheckpointStore
+	// Results, when non-nil, is the durable QoR store: each sample's
+	// synthesis outcome is looked up by content key (library fingerprint,
+	// sources, script) before running the tool, and logged after. A hit
+	// skips the run entirely; because the simulator is deterministic and the
+	// log round-trips float bits exactly, a served result is bit-identical
+	// to a recomputed one. Nil disables result caching.
+	Results *qorlog.Store
 }
 
 // RunPassK evaluates a pipeline on a design with k samples (the paper's
@@ -129,7 +137,7 @@ func EvalTaskOpts(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR
 
 	if workers <= 1 {
 		for s := 0; s < k; s++ {
-			out, fatal := evalSample(ctx, p, task, lib, s, opts.Checkpoints)
+			out, fatal := evalSample(ctx, p, task, lib, s, opts)
 			if fatal != nil && out == nil {
 				return res, fatal
 			}
@@ -151,7 +159,7 @@ func EvalTaskOpts(ctx context.Context, p Pipeline, task *Task, baseQoR synth.QoR
 	for s := 0; s < k; s++ {
 		s := s
 		pool.TrySubmit(func() {
-			slots[s].out, slots[s].fatal = evalSample(ctx, p, task, lib, s, opts.Checkpoints)
+			slots[s].out, slots[s].fatal = evalSample(ctx, p, task, lib, s, opts)
 		})
 	}
 	pool.Close()
@@ -187,8 +195,10 @@ func accumulate(res *EvalResult, out SampleOutcome, s int) {
 // with a non-nil error means the failure preceded any recordable sample
 // (fatal Customize error); a non-nil outcome with a non-nil error means the
 // sample is recorded and the evaluation must then abort (fatal synthesis
-// error).
-func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int, ckpt *synth.CheckpointStore) (*SampleOutcome, error) {
+// error). When opts.Results holds the outcome for this exact (library,
+// sources, script), the synthesis run is skipped and the logged QoR is
+// served instead — bit-identical because the simulator is deterministic.
+func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int, opts EvalOptions) (*SampleOutcome, error) {
 	var script string
 	var out SampleOutcome
 	if rp, ok := p.(ResultPipeline); ok {
@@ -217,8 +227,17 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 			}
 		}
 	}
+	var key qorlog.Key
+	if opts.Results != nil { // hashing the sources is not free; skip when unused
+		key = ResultKey(task.Lib, task.Design, script)
+		if rec, ok := opts.Results.Get(key); ok {
+			q := qorOf(rec)
+			out.QoR = &q
+			return &out, nil
+		}
+	}
 	sess := synth.NewSession(lib)
-	sess.Checkpoints = ckpt
+	sess.Checkpoints = opts.Checkpoints
 	sess.AddSource(task.Design.FileName, task.Design.Source)
 	run, err := sess.RunContext(ctx, script)
 	if err != nil {
@@ -229,5 +248,8 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 		return &out, nil
 	}
 	out.QoR = run.QoR
+	if opts.Results != nil {
+		opts.Results.Put(key, recordOf(*run.QoR))
+	}
 	return &out, nil
 }

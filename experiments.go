@@ -12,6 +12,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/qorlog"
 	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
@@ -79,6 +80,13 @@ type ExperimentConfig struct {
 	// sources. Results are bit-identical with or without it (nil disables
 	// checkpointing); only wall-clock changes.
 	Checkpoints *synth.CheckpointStore
+	// Results, when non-nil, is the durable QoR store shared across the
+	// experiment: sweeps over unchanged (library, design, script) inputs are
+	// served from the log instead of re-synthesized — the skip-if-unchanged
+	// protocol — and every fresh outcome is appended so the next process can
+	// skip it too. Determinism makes served and recomputed results
+	// bit-identical; nil disables result caching.
+	Results *qorlog.Store
 }
 
 // DefaultConfig matches the paper's protocol.
@@ -133,7 +141,10 @@ type Table4Row struct {
 // sweep continues; only a fatal (context) error aborts early with the rows
 // gathered so far. Designs synthesize in parallel (each in its own session),
 // but rows and errors are assembled in design order, so the output is
-// identical to the serial sweep.
+// identical to the serial sweep. With cfg.Results set, a design whose
+// (library, sources, baseline script) already sits in the durable log is
+// served from it without synthesizing — repeat sweeps over unchanged inputs
+// cost one hash per design.
 func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	cfg.fill()
 	workers := cfg.Workers
@@ -146,7 +157,19 @@ func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	}
 	results := make([]outcome, len(cfg.Designs))
 	workpool.Run(workers, len(cfg.Designs), func(i int) {
-		_, q, err := NewTaskWith(ctx, cfg.Designs[i], cfg.Lib, cfg.Checkpoints)
+		d := cfg.Designs[i]
+		var key qorlog.Key
+		if cfg.Results != nil {
+			key = ResultKey(cfg.Lib, d, d.BaselineScript())
+			if rec, ok := cfg.Results.Get(key); ok {
+				results[i] = outcome{q: qorOf(rec)}
+				return
+			}
+		}
+		_, q, err := NewTaskWith(ctx, d, cfg.Lib, cfg.Checkpoints)
+		if err == nil && cfg.Results != nil {
+			cfg.Results.Put(key, recordOf(q))
+		}
 		results[i] = outcome{q: q, err: err}
 	})
 	var rows []Table4Row
@@ -219,7 +242,7 @@ func Table3(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([
 		row := Table3Row{Design: d.Name}
 		failed := false
 		for _, p := range pipelines {
-			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints})
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results})
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err
@@ -561,7 +584,7 @@ func Ablations(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database)
 	for _, variant := range AblationVariants {
 		p := mk(variant)
 		for _, d := range cfg.Designs {
-			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints})
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results})
 			if err != nil {
 				if resilience.IsFatal(err) {
 					return rows, err
@@ -594,6 +617,16 @@ type IterationRow struct {
 // A design whose baseline fails is skipped and recorded in the returned
 // SweepErrors; a non-fatal Customize failure wastes that iteration (the
 // previous script stands) and the loop continues.
+//
+// The loop cuts off early in ninja's "restat" style: every round is a
+// deterministic function of the loop state (current QoR, script, report,
+// and the requirement derived from them), so a round that completes without
+// adopting a new script is a fixed point — all later rounds would reproduce
+// it exactly. The remaining rows are filled in without re-evaluating, and
+// the output stays byte-identical to the uncut loop. With cfg.Results set,
+// a candidate script whose QoR is already logged and would NOT be adopted
+// skips its synthesis run too (adoption needs the fresh report, so
+// improving rounds always run the tool).
 func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database, iters int) ([]IterationRow, error) {
 	cfg.fill()
 	if db == nil {
@@ -602,6 +635,15 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 		if err != nil {
 			return nil, err
 		}
+	}
+	// adopts reproduces the user's acceptance rule: under timing violation a
+	// candidate must improve timing; once timing is met it must keep timing
+	// and shrink area.
+	adopts := func(cur, cand synth.QoR) bool {
+		if cur.WNS < 0 {
+			return BetterTiming(cand, cur)
+		}
+		return cand.WNS >= 0 && cand.Area < cur.Area
 	}
 	var rows []IterationRow
 	var errs SweepErrors
@@ -633,33 +675,56 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
 				continue
 			}
-			sess := synth.NewSession(cfg.Lib)
-			sess.Checkpoints = cfg.Checkpoints
-			sess.AddSource(d.FileName, d.Source)
-			res, err := sess.RunContext(ctx, next)
-			if err != nil {
-				if resilience.IsFatal(err) {
-					return rows, err
+			// Durable-log lookup: a logged QoR decides adoption without
+			// running the tool. A non-adopted candidate contributes nothing
+			// but its QoR, so a hit skips synthesis; an adopting round still
+			// runs, because adoption feeds the fresh report into the prompt.
+			var candidate *synth.QoR
+			var reports []string
+			var key qorlog.Key
+			if cfg.Results != nil {
+				key = ResultKey(cfg.Lib, d, next)
+				if rec, ok := cfg.Results.Get(key); ok {
+					cq := qorOf(rec)
+					candidate = &cq
 				}
-				// A failed iteration keeps the previous script (the user
-				// would not adopt a script that does not run).
-				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
-				continue
+			}
+			if candidate == nil || adopts(q, *candidate) {
+				sess := synth.NewSession(cfg.Lib)
+				sess.Checkpoints = cfg.Checkpoints
+				sess.AddSource(d.FileName, d.Source)
+				res, err := sess.RunContext(ctx, next)
+				if err != nil {
+					if resilience.IsFatal(err) {
+						return rows, err
+					}
+					// A failed iteration keeps the previous script (the user
+					// would not adopt a script that does not run).
+					rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
+					continue
+				}
+				candidate = res.QoR
+				reports = res.Reports
+				if cfg.Results != nil {
+					cfg.Results.Put(key, recordOf(*res.QoR))
+				}
 			}
 			// The user compares reports and adopts the new script only when
 			// it improves the active objective.
-			improved := false
-			if q.WNS < 0 {
-				improved = BetterTiming(*res.QoR, q)
-			} else {
-				improved = res.QoR.WNS >= 0 && res.QoR.Area < q.Area
-			}
-			if improved {
-				q = *res.QoR
+			if adopts(q, *candidate) {
+				q = *candidate
 				script = next
-				task.BaselineReport = strings.Join(res.Reports, "\n")
+				task.BaselineReport = strings.Join(reports, "\n")
+				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
+				continue
 			}
-			rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
+			// Early cutoff: the round ran cleanly and changed nothing, so the
+			// loop state is a fixed point — every later round reproduces this
+			// one. Fill the remaining rows and stop re-evaluating.
+			for ; it <= iters; it++ {
+				rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
+			}
+			break
 		}
 	}
 	return rows, errs.OrNil()

@@ -1,0 +1,119 @@
+package chatls
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/qorlog"
+	"repro/internal/synthrag"
+)
+
+// TestTable4SkipIfUnchanged: the baseline sweep over unchanged inputs is
+// served entirely from the durable log — identical rows, zero new appends —
+// and matches the storeless sweep exactly.
+func TestTable4SkipIfUnchanged(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "qor.log")
+	base := ExperimentConfig{Lib: testLib, Designs: designs.Benchmarks()[:3]}
+
+	ref, err := Table4(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Results = cold
+	rows, err := Table4(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, rows) {
+		t.Fatal("store-backed sweep differs from the storeless one")
+	}
+	if cold.Stats().Appends == 0 {
+		t.Fatal("cold sweep must log its outcomes")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repeat sweep in a "restarted process": every design served from
+	// the log, nothing re-synthesized, nothing re-appended.
+	warm, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	cfg.Results = warm
+	again, err := Table4(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatal("skip-if-unchanged sweep differs from the computed one")
+	}
+	st := warm.Stats()
+	if st.Hits < int64(len(base.Designs)) || st.Appends != 0 {
+		t.Fatalf("stats = %+v, want every design a hit and no new appends", st)
+	}
+}
+
+// TestIterativeClosureStoreEquivalence: the resynthesis loop — early cutoff
+// plus log-served non-improving rounds — produces rows deeply equal to the
+// storeless loop, cold and warm.
+func TestIterativeClosureStoreEquivalence(t *testing.T) {
+	ctx := context.Background()
+	db, err := synthrag.Build(synthrag.BuildConfig{Seed: 2, SkipSynth: true, Lib: testLib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 3
+	base := ExperimentConfig{Lib: testLib, Designs: []*designs.Design{designs.EthMAC(), designs.JPEG()}}
+
+	ref, err := IterativeClosure(ctx, base, db, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(base.Designs) * (iters + 1); len(ref) != want {
+		t.Fatalf("got %d rows, want %d (early cutoff must still fill every iteration)", len(ref), want)
+	}
+
+	path := filepath.Join(t.TempDir(), "qor.log")
+	cold, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Results = cold
+	rows, err := IterativeClosure(ctx, cfg, db, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, rows) {
+		t.Fatal("store-backed closure loop differs from the storeless one")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	cfg.Results = warm
+	again, err := IterativeClosure(ctx, cfg, db, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatal("warm closure loop differs from the computed one")
+	}
+}

@@ -76,6 +76,19 @@ func (c *Cache[K, V]) Add(key K, val V) {
 	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
 }
 
+// Peek returns the cached value without updating recency or the hit/miss
+// counters — for callers asking "is this already stored?" (e.g. the QoR
+// log's append dedup) rather than serving a lookup.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,225 @@
+package qorlog
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/resilience"
+)
+
+// Store is the serving-path view of the QoR log: a bounded LRU read cache
+// warm-filled from the on-disk log at open, write-through appends with
+// retry, and graceful degradation — when the disk stops cooperating the
+// store drops to memory-only mode with a warning instead of failing
+// requests. A nil *Store disables result caching entirely (every method is
+// nil-safe), so callers thread it through unconditionally.
+//
+// Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	log   *Log // nil for a memory-only store
+	cache *lru.Cache[Key, Record]
+
+	degraded   atomic.Bool
+	hits       atomic.Int64
+	misses     atomic.Int64
+	appendErrs atomic.Int64
+	warmed     int64
+
+	// warnf sinks degradation warnings (default log.Printf; tests override).
+	warnf func(format string, args ...any)
+}
+
+// DefaultCacheCap bounds the in-memory record cache when the caller passes
+// a non-positive capacity. Records are ~100 bytes, so even the default is
+// cheap; the on-disk log retains everything regardless of evictions.
+const DefaultCacheCap = 4096
+
+// appendAttempts bounds the retries of one record append while the error
+// classifies as transient (resilience.IsRetryableDisk).
+const appendAttempts = 3
+
+// OpenStore opens the durable log at path and repopulates the in-memory
+// cache from it — the warm-restart path. Record-level corruption never
+// fails the open (see Open); a real I/O error does, and the caller decides
+// whether to run memory-only instead.
+func OpenStore(path string, cacheCap int, opts Options) (*Store, error) {
+	l, err := Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(l, cacheCap)
+	l.Each(func(k Key, rec Record) {
+		s.cache.Add(k, rec)
+		s.warmed++
+	})
+	return s, nil
+}
+
+// NewMemoryStore builds a store with no backing log: results are cached
+// for the process lifetime only.
+func NewMemoryStore(cacheCap int) *Store {
+	return newStore(nil, cacheCap)
+}
+
+func newStore(l *Log, cacheCap int) *Store {
+	if cacheCap <= 0 {
+		cacheCap = DefaultCacheCap
+	}
+	return &Store{
+		log:   l,
+		cache: lru.New[Key, Record](cacheCap),
+		warnf: log.Printf,
+	}
+}
+
+// Get returns the logged record for key. A key evicted from the LRU but
+// live in the log's replay index still hits (and is re-promoted).
+func (s *Store) Get(key Key) (Record, bool) {
+	if s == nil {
+		return Record{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		return rec, true
+	}
+	if s.log != nil {
+		if rec, ok := s.log.Get(key); ok {
+			s.cache.Add(key, rec)
+			s.hits.Add(1)
+			return rec, true
+		}
+	}
+	s.misses.Add(1)
+	return Record{}, false
+}
+
+// Put stores a record, appending it to the log when one is open and the
+// store has not degraded. Re-putting an identical record is a no-op
+// (skip-if-unchanged): repeat sweeps over unchanged inputs must not grow
+// the log with dead entries. A fatal append failure — or a transient one
+// that survives every retry — degrades the store to memory-only mode with
+// a warning; requests keep being served.
+func (s *Store) Put(key Key, rec Record) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.cache.Peek(key); ok && prev == rec {
+		return
+	}
+	if s.log != nil {
+		if prev, ok := s.log.Get(key); ok && prev == rec {
+			s.cache.Add(key, rec)
+			return
+		}
+	}
+	s.cache.Add(key, rec)
+	if s.log == nil || s.degraded.Load() {
+		return
+	}
+	var err error
+	for attempt := 1; attempt <= appendAttempts; attempt++ {
+		if err = s.log.Append(key, rec); err == nil {
+			return
+		}
+		s.appendErrs.Add(1)
+		if !resilience.IsRetryableDisk(err) {
+			break
+		}
+	}
+	s.degraded.Store(true)
+	s.warnf("qorlog: log write failed, degrading to memory-only mode "+
+		"(results from this process will not survive a restart): %v", err)
+}
+
+// Degraded reports whether log writes have been abandoned for this process.
+func (s *Store) Degraded() bool { return s != nil && s.degraded.Load() }
+
+// Len returns the number of live records (log-backed stores count the full
+// replay index, not just what the LRU retains).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		return s.log.Len()
+	}
+	return s.cache.Len()
+}
+
+// Sync makes appended records durable now (Close also syncs).
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil || s.degraded.Load() {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Close flushes and closes the backing log. Nil-safe and idempotent; the
+// in-memory cache keeps serving after Close (shutdown calls it early).
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	l := s.log
+	s.log = nil
+	err := l.Close()
+	if s.degraded.Load() {
+		return nil // the failure was already reported when it degraded
+	}
+	return err
+}
+
+// StoreStats is the store's lifetime counters, exposed by the daemon as
+// qorlog_* metrics. Nil-safe: a nil store reports zeros.
+type StoreStats struct {
+	Hits, Misses int64 // result-cache lookups
+	Warmed       int64 // records repopulated from the log at open
+	Appends      int64 // records appended this session
+	AppendErrors int64 // failed append attempts (before retry/degradation)
+	Recovered    int64 // fully-written records replayed by recovery
+	DroppedBytes int64 // torn/corrupt trailing bytes truncated by recovery
+	Recompacted  int64 // recompaction rewrites completed
+	Degraded     bool  // true once log writes were abandoned
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Warmed:       s.warmed,
+		AppendErrors: s.appendErrs.Load(),
+		Degraded:     s.degraded.Load(),
+	}
+	if s.log != nil {
+		st.Appends = s.log.Appends()
+		st.Recovered = int64(s.log.Stats().Recovered)
+		st.DroppedBytes = s.log.Stats().DroppedBytes
+		st.Recompacted = s.log.Recompactions()
+	}
+	return st
+}

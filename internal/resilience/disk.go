@@ -1,0 +1,206 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// The disk-I/O fault class. Durable state (the QoR log) fails in ways the
+// component-call injector cannot express: a write that lands only partially,
+// an fsync the kernel refuses, a process killed with half a record on disk.
+// DiskInjector models those three at the file-operation boundary so the
+// log's recovery and degradation paths are exercised by seeded tests
+// instead of trusted.
+
+// ErrDiskKilled marks every operation after an injected mid-write kill: the
+// simulated process is dead, so nothing it attempts afterwards can reach the
+// disk. It is always a fatal (non-retryable) error.
+var ErrDiskKilled = errors.New("resilience: disk killed mid-write")
+
+// DiskOp names the file operations the disk injector can fault.
+type DiskOp string
+
+const (
+	// DiskWrite is a file write (append of a log record).
+	DiskWrite DiskOp = "write"
+	// DiskSync is an fsync/Flush making written bytes durable.
+	DiskSync DiskOp = "sync"
+)
+
+// DiskMode selects how an injected disk fault manifests.
+type DiskMode int
+
+const (
+	// DiskFail makes the operation fail cleanly: no bytes reach the disk.
+	DiskFail DiskMode = iota + 1
+	// DiskShort makes a write land partially (a prefix of the buffer) and
+	// then fail with io.ErrShortWrite — the classic torn-record producer.
+	DiskShort
+	// DiskKill writes a prefix and then kills the simulated process: the
+	// faulted operation and every later one fail with ErrDiskKilled. Tests
+	// reopen the path afterwards to exercise crash recovery.
+	DiskKill
+)
+
+func (m DiskMode) String() string {
+	switch m {
+	case DiskFail:
+		return "fail"
+	case DiskShort:
+		return "short-write"
+	case DiskKill:
+		return "kill"
+	}
+	return fmt.Sprintf("diskmode(%d)", int(m))
+}
+
+// DiskFault schedules faults for one operation kind. Calls lists the
+// 1-based operation numbers that fault; an empty list faults every call.
+// Frac is the fraction of the buffer written before a DiskShort/DiskKill
+// fault fires (0 selects one half).
+type DiskFault struct {
+	Op    DiskOp
+	Mode  DiskMode
+	Calls []int
+	Frac  float64
+}
+
+// DiskInjector deterministically faults file operations: the Nth write or
+// sync fails, lands short, or kills the writer per the schedule. A nil
+// *DiskInjector is inert. Safe for concurrent use.
+type DiskInjector struct {
+	mu     sync.Mutex
+	faults []DiskFault
+	counts map[DiskOp]int
+	killed bool
+}
+
+// NewDiskInjector builds a disk injector over a fault schedule.
+func NewDiskInjector(faults ...DiskFault) *DiskInjector {
+	return &DiskInjector{faults: faults, counts: make(map[DiskOp]int)}
+}
+
+// hit returns the scheduled fault for the nth call of op, nil when none.
+func (in *DiskInjector) hit(op DiskOp, n int) *DiskFault {
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Op != op {
+			continue
+		}
+		if len(f.Calls) == 0 {
+			return f
+		}
+		for _, c := range f.Calls {
+			if c == n {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Write is consulted before writing an n-byte buffer. It returns how many
+// bytes the caller may actually write and the error to return after writing
+// them (nil, n on an unfaulted call). After a DiskKill fault, every
+// subsequent operation fails with ErrDiskKilled and writes nothing.
+func (in *DiskInjector) Write(n int) (int, error) {
+	if in == nil {
+		return n, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.killed {
+		return 0, ErrDiskKilled
+	}
+	in.counts[DiskWrite]++
+	f := in.hit(DiskWrite, in.counts[DiskWrite])
+	if f == nil {
+		return n, nil
+	}
+	frac := f.Frac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	switch f.Mode {
+	case DiskShort:
+		return int(float64(n) * frac), fmt.Errorf("%w: %w", ErrInjected, io.ErrShortWrite)
+	case DiskKill:
+		in.killed = true
+		return int(float64(n) * frac), ErrDiskKilled
+	default:
+		return 0, fmt.Errorf("%w: write failed", ErrInjected)
+	}
+}
+
+// Sync is consulted before an fsync. It returns the error the sync should
+// fail with, or nil to let it through.
+func (in *DiskInjector) Sync() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.killed {
+		return ErrDiskKilled
+	}
+	in.counts[DiskSync]++
+	f := in.hit(DiskSync, in.counts[DiskSync])
+	if f == nil {
+		return nil
+	}
+	if f.Mode == DiskKill {
+		in.killed = true
+		return ErrDiskKilled
+	}
+	return fmt.Errorf("%w: fsync failed", ErrInjected)
+}
+
+// Killed reports whether a DiskKill fault has fired.
+func (in *DiskInjector) Killed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.killed
+}
+
+// Calls reports how many times the operation has been attempted.
+func (in *DiskInjector) Calls(op DiskOp) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// IsRetryableDisk classifies a disk-I/O error as transient (worth retrying
+// the operation after rewinding) or fatal (the medium can no longer be
+// trusted; the caller should degrade to memory-only operation instead of
+// hammering a sick disk or aborting requests). Short writes and interrupted
+// syscalls are transient; a killed writer, a closed or missing file, a full
+// or read-only filesystem, and any unclassified error are fatal.
+func IsRetryableDisk(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrDiskKilled) || errors.Is(err, os.ErrClosed) ||
+		errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) {
+		return false
+	}
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EIO) || errors.Is(err, syscall.EBADF) {
+		return false
+	}
+	if errors.Is(err, io.ErrShortWrite) || errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestDiskInjectorNilIsInert(t *testing.T) {
+	var in *DiskInjector
+	n, err := in.Write(100)
+	if n != 100 || err != nil {
+		t.Fatalf("nil injector Write = (%d, %v), want (100, nil)", n, err)
+	}
+	if err := in.Sync(); err != nil {
+		t.Fatalf("nil injector Sync = %v", err)
+	}
+	if in.Killed() || in.Calls(DiskWrite) != 0 {
+		t.Fatal("nil injector must report no state")
+	}
+}
+
+func TestDiskInjectorFailAndShort(t *testing.T) {
+	in := NewDiskInjector(
+		DiskFault{Op: DiskWrite, Mode: DiskFail, Calls: []int{1}},
+		DiskFault{Op: DiskWrite, Mode: DiskShort, Calls: []int{2}},
+	)
+	n, err := in.Write(100)
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 1: got (%d, %v), want clean failure", n, err)
+	}
+	n, err = in.Write(100)
+	if n != 50 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("call 2: got (%d, %v), want short write of 50", n, err)
+	}
+	n, err = in.Write(100)
+	if n != 100 || err != nil {
+		t.Fatalf("call 3: got (%d, %v), want unfaulted pass-through", n, err)
+	}
+	if in.Calls(DiskWrite) != 3 {
+		t.Fatalf("Calls(write) = %d, want 3", in.Calls(DiskWrite))
+	}
+}
+
+func TestDiskInjectorKillIsSticky(t *testing.T) {
+	in := NewDiskInjector(DiskFault{Op: DiskWrite, Mode: DiskKill, Calls: []int{2}, Frac: 0.25})
+	if n, err := in.Write(100); n != 100 || err != nil {
+		t.Fatalf("call 1 should pass: (%d, %v)", n, err)
+	}
+	n, err := in.Write(100)
+	if n != 25 || !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("kill call: got (%d, %v), want 25 bytes then ErrDiskKilled", n, err)
+	}
+	if !in.Killed() {
+		t.Fatal("Killed() should report true after the kill fires")
+	}
+	if n, err := in.Write(10); n != 0 || !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("post-kill write: got (%d, %v), want (0, ErrDiskKilled)", n, err)
+	}
+	if err := in.Sync(); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("post-kill sync: got %v, want ErrDiskKilled", err)
+	}
+}
+
+func TestDiskInjectorSyncFault(t *testing.T) {
+	in := NewDiskInjector(DiskFault{Op: DiskSync, Mode: DiskFail})
+	if err := in.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync = %v, want injected failure", err)
+	}
+	if n, err := in.Write(5); n != 5 || err != nil {
+		t.Fatalf("writes must be unaffected by a sync-only schedule: (%d, %v)", n, err)
+	}
+}
+
+func TestIsRetryableDisk(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.ErrShortWrite, true},
+		{fmt.Errorf("wrapped: %w", io.ErrShortWrite), true},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{ErrDiskKilled, false},
+		{os.ErrClosed, false},
+		{syscall.ENOSPC, false},
+		{syscall.EIO, false},
+		{syscall.EROFS, false},
+		{errors.New("mystery disk error"), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryableDisk(c.err); got != c.want {
+			t.Errorf("IsRetryableDisk(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/qorlog"
+)
+
+// TestWarmRestartServesByteIdenticalResults is the durable-log acceptance
+// path: a daemon writes its synthesis outcomes to the QoR log, a second
+// daemon over the same log warm-fills from it, serves the repeat request
+// with log hits instead of synthesis runs, and the response bytes are
+// identical to the cold-computed ones.
+func TestWarmRestartServesByteIdenticalResults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qor.log")
+	const req = `{"design":"riscv32i","k":2}`
+
+	s1 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, QoRLogPath: path})
+	ts1 := httptest.NewServer(s1.Handler())
+	hr, cold := postCustomize(t, ts1.URL, req)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("cold customize status %d: %s", hr.StatusCode, cold)
+	}
+	if n := metricValue(t, ts1.URL, "qorlog_appends_total"); n == 0 {
+		t.Fatal("cold run must append its outcomes to the log")
+	}
+	ts1.Close()
+	s1.Close() // flush: the restart below must see every record
+
+	s2 := newTestServer(t, Config{Workers: 1, QueueDepth: 4, QoRLogPath: path})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if n := metricValue(t, ts2.URL, "qorlog_warm_records_total"); n == 0 {
+		t.Fatal("restarted server must warm-fill from the log")
+	}
+	hr, warm := postCustomize(t, ts2.URL, req)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("warm customize status %d: %s", hr.StatusCode, warm)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm-restarted response differs from cold-computed:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if n := metricValue(t, ts2.URL, "qorlog_hits_total"); n < 2 {
+		t.Fatalf("qorlog_hits_total = %v, want >= 2 (both samples served from the log)", n)
+	}
+	if n := metricValue(t, ts2.URL, "qorlog_appends_total"); n != 0 {
+		t.Fatalf("qorlog_appends_total = %v, want 0 (nothing changed, nothing re-logged)", n)
+	}
+}
+
+// TestShutdownFlushesQoRLog: the graceful-stop path drains workers and
+// leaves a log the next process can replay.
+func TestShutdownFlushesQoRLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qor.log")
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, QoRLogPath: path})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hr, body := postCustomize(t, ts.URL, `{"design":"riscv32i","k":1}`)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("customize status %d: %s", hr.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown must be a no-op, got: %v", err)
+	}
+
+	l, err := qorlog.Open(path, qorlog.Options{})
+	if err != nil {
+		t.Fatalf("reopen flushed log: %v", err)
+	}
+	defer l.Close()
+	if l.Len() == 0 {
+		t.Fatal("shutdown must flush the request's outcome to the log")
+	}
+	if st := l.Stats(); st.DroppedBytes != 0 {
+		t.Fatalf("flushed log must be clean, recovery dropped %d bytes", st.DroppedBytes)
+	}
+}
+
+// TestUnopenableQoRLogDegradesToMemoryOnly: a bad log path must not fail
+// startup — the daemon warns and serves with in-process caching only.
+func TestUnopenableQoRLogDegradesToMemoryOnly(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, QoRLogPath: t.TempDir()}) // a directory, not a file
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hr, body := postCustomize(t, ts.URL, `{"design":"riscv32i","k":1}`)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("customize status %d: %s", hr.StatusCode, body)
+	}
+	if n := metricValue(t, ts.URL, "qorlog_appends_total"); n != 0 {
+		t.Fatalf("memory-only store must not report log appends, got %v", n)
+	}
+	// The in-memory store still dedups: the repeat request hits.
+	hr, body = postCustomize(t, ts.URL, `{"design":"riscv32i","k":1}`)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("repeat customize status %d: %s", hr.StatusCode, body)
+	}
+	if n := metricValue(t, ts.URL, "qorlog_hits_total"); n == 0 {
+		t.Fatal("memory-only store must still serve repeat results")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/lru"
 	"repro/internal/metrics"
+	"repro/internal/qorlog"
 	"repro/internal/resilience"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -65,6 +67,19 @@ type Config struct {
 	// synth.DefaultCheckpointCap; negative disables checkpointing.
 	CheckpointCap int
 
+	// QoRLogPath, when non-empty, opens the durable QoR log there: every
+	// sample synthesis outcome is appended, and a restarted daemon warm-fills
+	// its result cache from the log instead of recomputing (warm restart).
+	// Corrupt or torn trailing records are truncated at open; an unopenable
+	// log degrades the daemon to memory-only result caching with a warning
+	// rather than failing startup. Empty disables result caching.
+	QoRLogPath string
+	// QoRCacheSize bounds the in-memory record cache in front of the log
+	// (default qorlog.DefaultCacheCap).
+	QoRCacheSize int
+	// QoRLogOpts tunes recompaction and fault injection (tests).
+	QoRLogOpts qorlog.Options
+
 	DefaultK int // Pass@k when the request omits k (default 1)
 	MaxK     int // upper bound on requested k (default 10)
 
@@ -86,10 +101,11 @@ type Server struct {
 	byName map[string]*designs.Design
 	pool   *workpool.Pool
 	flight *flightGroup
-	tasks  *lru.Cache[string, taskEntry]
-	ckpt   *synth.CheckpointStore // nil when CheckpointCap < 0
-	reg    *metrics.Registry
-	closed atomic.Bool
+	tasks   *lru.Cache[string, taskEntry]
+	ckpt    *synth.CheckpointStore // nil when CheckpointCap < 0
+	results *qorlog.Store          // nil when QoRLogPath == ""
+	reg     *metrics.Registry
+	closed  atomic.Bool
 
 	requests     *metrics.Counter
 	rejected     *metrics.Counter
@@ -168,6 +184,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointCap >= 0 {
 		s.ckpt = synth.NewCheckpointStore(cfg.CheckpointCap)
 	}
+	if cfg.QoRLogPath != "" {
+		store, err := qorlog.OpenStore(cfg.QoRLogPath, cfg.QoRCacheSize, cfg.QoRLogOpts)
+		if err != nil {
+			// An unopenable log is a degraded start, not a failed one: the
+			// daemon serves correctly from memory, it just recomputes.
+			log.Printf("chatlsd: cannot open QoR log %s, running memory-only (results will not survive a restart): %v",
+				cfg.QoRLogPath, err)
+			store = qorlog.NewMemoryStore(cfg.QoRCacheSize)
+		}
+		s.results = store
+	}
 	for _, d := range cfg.Designs {
 		s.byName[d.Name] = d
 	}
@@ -197,6 +224,29 @@ func New(cfg Config) (*Server, error) {
 		func() int64 { return s.ckpt.Stats().Misses })
 	s.reg.NewCounterFunc("synth_checkpoint_evictions_total", "elaboration checkpoints displaced by capacity pressure",
 		func() int64 { return s.ckpt.Stats().Evictions })
+	s.reg.NewCounterFunc("qorlog_hits_total", "sample syntheses served from the durable QoR store",
+		func() int64 { return s.results.Stats().Hits })
+	s.reg.NewCounterFunc("qorlog_misses_total", "QoR store lookups that ran the synthesis tool",
+		func() int64 { return s.results.Stats().Misses })
+	s.reg.NewCounterFunc("qorlog_appends_total", "QoR records appended to the log this process",
+		func() int64 { return s.results.Stats().Appends })
+	s.reg.NewCounterFunc("qorlog_append_errors_total", "failed QoR-log append attempts",
+		func() int64 { return s.results.Stats().AppendErrors })
+	s.reg.NewCounterFunc("qorlog_records_recovered_total", "QoR records replayed from the log at startup",
+		func() int64 { return s.results.Stats().Recovered })
+	s.reg.NewCounterFunc("qorlog_dropped_bytes_total", "torn or corrupt trailing log bytes truncated at startup",
+		func() int64 { return s.results.Stats().DroppedBytes })
+	s.reg.NewCounterFunc("qorlog_recompactions_total", "QoR-log recompaction rewrites completed",
+		func() int64 { return s.results.Stats().Recompacted })
+	s.reg.NewCounterFunc("qorlog_warm_records_total", "QoR records warm-filled into the cache at startup",
+		func() int64 { return s.results.Stats().Warmed })
+	s.reg.NewGaugeFunc("qorlog_degraded", "1 once QoR-log writes were abandoned (memory-only mode)",
+		func() int64 {
+			if s.results.Degraded() {
+				return 1
+			}
+			return 0
+		})
 	s.reg.NewGaugeFunc("chatlsd_queue_depth", "tasks waiting in the worker-pool queue",
 		func() int64 { return int64(s.pool.Queued()) })
 	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
@@ -217,13 +267,45 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops admitting requests and drains in-flight and queued work.
-// Idempotent.
+// Close stops admitting requests, drains in-flight and queued work with no
+// deadline, and flushes and closes the QoR log. Idempotent.
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		s.pool.Close()
+		s.results.Close()
 	}
 }
+
+// Shutdown is the graceful-stop path: it stops admitting requests, drains
+// the worker pool until ctx expires, then flushes and closes the QoR log so
+// every completed result is durable for the next warm restart. A deadline
+// overrun returns ctx.Err() — the log still closes (appends after close
+// land only in memory), but workers past the deadline are abandoned to the
+// process exit. Idempotent with Close; the first caller wins.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := s.results.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// QoRStats exposes the QoR store's counters (zeros when no log is
+// configured) — the daemon logs recovery results at startup from these.
+func (s *Server) QoRStats() qorlog.StoreStats { return s.results.Stats() }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -408,7 +490,7 @@ func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customi
 	t.Requirement = req.Requirement
 
 	res, err := chatls.EvalTaskOpts(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib,
-		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt})
+		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt, Results: s.results})
 	if err != nil {
 		s.countErr(err)
 		return nil, err

@@ -129,7 +129,7 @@ func (s *Session) checkpointKey(files []string, top string) (string, bool) {
 		h.Write([]byte(b))
 	}
 	frame("lib")
-	frame(libraryFingerprint(s.Lib))
+	frame(LibraryFingerprint(s.Lib))
 	frame("order")
 	for _, f := range files {
 		frame(f)
@@ -160,11 +160,13 @@ func (s *Session) checkpointKey(files []string, top string) (string, bool) {
 	return string(h.Sum(nil)), true
 }
 
-// libraryFingerprint identifies a library by content, not pointer: the name
+// LibraryFingerprint identifies a library by content, not pointer: the name
 // plus a digest of every cell's timing-relevant parameters and the wireload
 // tables. Two libraries built the same way (e.g. two Nangate45() calls)
 // fingerprint identically; a library differing in any delay model does not.
-func libraryFingerprint(lib *liberty.Library) string {
+// Exported because the durable QoR log keys results by the same fingerprint:
+// a library change must invalidate cached synthesis outcomes.
+func LibraryFingerprint(lib *liberty.Library) string {
 	h := sha256.New()
 	hs := func(v string) {
 		var n [8]byte

@@ -1,0 +1,86 @@
+package chatls
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/llm"
+	"repro/internal/qorlog"
+)
+
+// TestWarmRestartEquivalenceCorpus is the warm-restart contract over the
+// benchmark corpus: a Pass@k evaluation logged to the durable QoR store,
+// then replayed by a fresh store over the same file ("kill" the process,
+// reopen), must produce results deeply equal to the cold run — every
+// sample's QoR served from the log bit-identical to the computed one — and
+// must actually serve from the log rather than re-synthesize.
+func TestWarmRestartEquivalenceCorpus(t *testing.T) {
+	corpus := designs.Benchmarks()
+	if testing.Short() {
+		corpus = corpus[:2]
+	}
+	lib := liberty.Nangate45()
+	path := filepath.Join(t.TempDir(), "qor.log")
+	ctx := context.Background()
+	const k = 2
+
+	run := func(store *qorlog.Store) []EvalResult {
+		var out []EvalResult
+		for _, d := range corpus {
+			p := &RawPipeline{Model: llm.New(llm.GPT4o, ProtocolSeed)}
+			res, err := RunPassKOpts(ctx, p, d, k, lib, EvalOptions{Results: store})
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+
+	cold, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldResults := run(cold)
+	if cold.Stats().Appends == 0 {
+		t.Fatal("cold run must append outcomes to the log")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatalf("close cold store: %v", err)
+	}
+
+	// The "restarted process": a fresh store replaying the same file.
+	warm, err := qorlog.OpenStore(path, 0, qorlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	st := warm.Stats()
+	if st.Warmed == 0 || st.DroppedBytes != 0 {
+		t.Fatalf("restart must warm-fill from a clean log, stats %+v", st)
+	}
+	warmResults := run(warm)
+	if !reflect.DeepEqual(coldResults, warmResults) {
+		t.Fatal("warm-restarted evaluation differs from cold-computed results")
+	}
+	// Every sample whose script ran (invalid scripts are never logged) must
+	// have been served from the log on the warm run.
+	var valid int64
+	for _, res := range coldResults {
+		valid += int64(res.Valid)
+	}
+	st = warm.Stats()
+	if valid == 0 {
+		t.Fatal("corpus produced no valid samples; the test exercises nothing")
+	}
+	if st.Hits < valid {
+		t.Fatalf("hits = %d, want >= %d (every valid sample served from the log)", st.Hits, valid)
+	}
+	if st.Appends != 0 {
+		t.Fatalf("appends = %d, want 0 (unchanged inputs must not grow the log)", st.Appends)
+	}
+}

@@ -1,0 +1,59 @@
+package chatls
+
+import (
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/qorlog"
+	"repro/internal/synth"
+)
+
+// ResultKey derives the durable QoR-log key of one synthesis outcome. A
+// simulated synthesis run is a pure function of the library delay models,
+// the RTL sources, and the script text (clock period, wireload model, and
+// parameter overrides all live in the script), so those three inputs —
+// library by content fingerprint, design by (file name, source), script
+// verbatim — address the result. Any change to any of them changes the key,
+// which is how skip-if-unchanged sweeps and warm restarts stay sound.
+func ResultKey(lib *liberty.Library, d *designs.Design, script string) qorlog.Key {
+	return qorlog.KeyOf(
+		synth.LibraryFingerprint(lib),
+		d.FileName,
+		d.Source,
+		script,
+	)
+}
+
+// recordOf converts a synthesis QoR into the log's on-disk record. The two
+// structs carry identical fields (qorlog is a leaf package and must not
+// import synth); floats cross unmodified, so a logged record round-trips
+// bit-identically.
+func recordOf(q synth.QoR) qorlog.Record {
+	return qorlog.Record{
+		Design:     q.Design,
+		Period:     q.Period,
+		WNS:        q.WNS,
+		CPS:        q.CPS,
+		TNS:        q.TNS,
+		Area:       q.Area,
+		Leakage:    q.Leakage,
+		Cells:      q.Cells,
+		Seq:        q.Seq,
+		Violations: q.Violations,
+	}
+}
+
+// qorOf is the inverse of recordOf.
+func qorOf(rec qorlog.Record) synth.QoR {
+	return synth.QoR{
+		Design:     rec.Design,
+		Period:     rec.Period,
+		WNS:        rec.WNS,
+		CPS:        rec.CPS,
+		TNS:        rec.TNS,
+		Area:       rec.Area,
+		Leakage:    rec.Leakage,
+		Cells:      rec.Cells,
+		Seq:        rec.Seq,
+		Violations: rec.Violations,
+	}
+}
