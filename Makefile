@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke crash-recovery check
+.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke crash-recovery remote-cache-e2e check
 
 build:
 	$(GO) build ./...
@@ -65,5 +65,15 @@ crash-recovery:
 	$(GO) test ./internal/server -race -run 'TestWarmRestart|TestShutdownFlushesQoRLog|TestUnopenableQoRLog'
 	$(GO) test . -race -run 'TestWarmRestartEquivalenceCorpus'
 
-# Everything CI runs plus the fuzz smoke pass and the crash-recovery gate.
-check: build vet race fuzz-smoke crash-recovery
+# Distributed-result-tier gate: an in-process chatlscached shared by two
+# replica clients must dedup Pass@k synthesis fleet-wide (one tool run per
+# unique key, byte-identical to a storeless single replica), and killing
+# the cache server mid-run must degrade the client to local-only with one
+# warning and equivalent results — all under -race.
+remote-cache-e2e:
+	$(GO) test ./internal/remotecache -race
+	$(GO) test . -race -run 'TestTwoReplicasDedupAndMatchSingleReplica|TestReplicaDegradesWhenTierDiesMidRun'
+
+# Everything CI runs plus the fuzz smoke pass, the crash-recovery gate,
+# and the distributed-result-tier gate.
+check: build vet race fuzz-smoke crash-recovery remote-cache-e2e

@@ -30,6 +30,7 @@ import (
 	"repro/internal/inputlimits"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/remotecache"
 	"repro/internal/server"
 )
 
@@ -46,6 +47,8 @@ func main() {
 	checkpointCap := flag.Int("checkpoint-cap", 0, "elaboration-checkpoint store entries (0 = default, negative disables)")
 	qorLog := flag.String("qor-log", "", "durable QoR log path: synthesis outcomes persist across restarts (empty disables)")
 	qorCache := flag.Int("qor-cache", 0, "in-memory QoR record cache entries in front of the log (0 = default)")
+	remoteCache := flag.String("remote-cache", "", "base URL of a shared chatlscached result tier, e.g. http://cache:8090 (empty disables)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet-wide work-lease TTL requested from the remote cache (0 = server default)")
 	defaultK := flag.Int("k", 1, "default Pass@k samples per request")
 	maxK := flag.Int("max-k", 10, "largest k a request may ask for")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
@@ -93,6 +96,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	var rc *remotecache.Client
+	if *remoteCache != "" {
+		host, _ := os.Hostname()
+		rc = remotecache.NewClient(remotecache.ClientConfig{
+			BaseURL:  *remoteCache,
+			Owner:    fmt.Sprintf("chatlsd-%s-%d", host, os.Getpid()),
+			LeaseTTL: *leaseTTL,
+		})
+		log.Printf("remote result tier: %s (replica falls back to local-only if it dies)", *remoteCache)
+	}
+
 	srv, err := server.New(server.Config{
 		Model:             llm.New(llm.GPT4o, *seed),
 		DB:                db,
@@ -107,6 +121,7 @@ func main() {
 		CheckpointCap:     *checkpointCap,
 		QoRLogPath:        *qorLog,
 		QoRCacheSize:      *qorCache,
+		RemoteCache:       rc,
 		DefaultK:          *defaultK,
 		MaxK:              *maxK,
 		MaxBodyBytes:      *maxBody,

@@ -21,6 +21,7 @@ import (
 	chatls "repro"
 	"repro/internal/designs"
 	"repro/internal/qorlog"
+	"repro/internal/remotecache"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
 )
@@ -38,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 1, "concurrent Pass@k sample workers (1 = paper's serial protocol)")
 	checkpoints := flag.Bool("checkpoints", true, "share elaboration checkpoints across synthesis runs (results are bit-identical either way)")
 	qorLog := flag.String("qor-log", "", "durable QoR log path: sweeps over unchanged inputs are served from it and skip synthesis (empty disables)")
+	remoteCache := flag.String("remote-cache", "", "base URL of a shared chatlscached result tier; concurrent replicas dedup synthesis work through it (empty disables)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "work-lease TTL requested from the remote cache (0 = server default)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -58,14 +61,16 @@ func main() {
 	if *checkpoints {
 		cfg.Checkpoints = synth.NewCheckpointStore(0)
 	}
+	var store *qorlog.Store
 	if *qorLog != "" {
-		store, err := qorlog.OpenStore(*qorLog, 0, qorlog.Options{})
+		s, err := qorlog.OpenStore(*qorLog, 0, qorlog.Options{})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "warning: cannot open QoR log %s, running without it: %v\n", *qorLog, err)
 		} else {
-			st := store.Stats()
+			st := s.Stats()
 			fmt.Fprintf(os.Stderr, "qor log %s: recovered %d record(s), dropped %d torn/corrupt byte(s)\n",
 				*qorLog, st.Recovered, st.DroppedBytes)
+			store = s
 			cfg.Results = store
 			defer func() {
 				st := store.Stats()
@@ -76,6 +81,33 @@ func main() {
 				}
 			}()
 		}
+	}
+	if *remoteCache != "" {
+		host, _ := os.Hostname()
+		rc := remotecache.NewClient(remotecache.ClientConfig{
+			BaseURL:  *remoteCache,
+			Owner:    fmt.Sprintf("experiments-%s-%d", host, os.Getpid()),
+			LeaseTTL: *leaseTTL,
+		})
+		// The tier layers the remote cache over the local log (which may be
+		// absent — a remote-only tier still dedups work fleet-wide).
+		tier := remotecache.NewTier(store, rc)
+		cfg.Results = tier
+		if cfg.Checkpoints != nil {
+			cfg.Checkpoints.SetRemote(rc)
+		}
+		// Registered after the log-close defer above, so this flush runs
+		// first: queued publishes reach the tier before the log closes.
+		defer func() {
+			tier.Close()
+			st := rc.Stats()
+			fmt.Fprintf(os.Stderr,
+				"remote cache: %d QoR hit(s), %d published, %d checkpoint hit(s), %d lease(s) granted, %d sibling wait(s)\n",
+				st.QoRHits, st.QoRPuts, st.BlobHits, st.LeasesGranted, st.LeaseWaits)
+			if st.Degraded {
+				fmt.Fprintln(os.Stderr, "remote cache: tier was lost mid-run; finished local-only")
+			}
+		}()
 	}
 
 	wantTable := func(n int) bool { return *all || *table == n }

@@ -77,7 +77,13 @@ type EvalOptions struct {
 	// skips the run entirely; because the simulator is deterministic and the
 	// log round-trips float bits exactly, a served result is bit-identical
 	// to a recomputed one. Nil disables result caching.
-	Results *qorlog.Store
+	//
+	// A store that also implements LeasedResultStore (remotecache.Tier)
+	// additionally coordinates work fleet-wide: on a miss, the sample claims
+	// a lease before synthesizing, so concurrent replicas evaluating the
+	// same (library, sources, script) run the tool exactly once between
+	// them and the rest serve the published record.
+	Results ResultStore
 }
 
 // RunPassK evaluates a pipeline on a design with k samples (the paper's
@@ -234,6 +240,20 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 			q := qorOf(rec)
 			out.QoR = &q
 			return &out, nil
+		}
+		if ls, ok := opts.Results.(LeasedResultStore); ok {
+			rec, done, release := ls.Acquire(ctx, key)
+			if done {
+				release()
+				q := qorOf(rec)
+				out.QoR = &q
+				return &out, nil
+			}
+			// We hold the lease (or coordination failed and release is a
+			// no-op). Release after the success-path Put publishes the
+			// record; on failure the lease lapses with nothing published
+			// and siblings recompute — slower, never wrong.
+			defer release()
 		}
 	}
 	sess := synth.NewSession(lib)

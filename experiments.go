@@ -85,8 +85,10 @@ type ExperimentConfig struct {
 	// served from the log instead of re-synthesized — the skip-if-unchanged
 	// protocol — and every fresh outcome is appended so the next process can
 	// skip it too. Determinism makes served and recomputed results
-	// bit-identical; nil disables result caching.
-	Results *qorlog.Store
+	// bit-identical; nil disables result caching. A LeasedResultStore
+	// (remotecache.Tier) additionally dedups the synthesis work across
+	// concurrent replicas sharing one remote cache.
+	Results ResultStore
 }
 
 // DefaultConfig matches the paper's protocol.

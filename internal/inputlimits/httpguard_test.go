@@ -1,0 +1,58 @@
+package inputlimits
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postReq(body string) (*httptest.ResponseRecorder, *http.Request) {
+	return httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(body))
+}
+
+func TestDecodeJSONRequest(t *testing.T) {
+	type payload struct {
+		Name string `json:"name"`
+	}
+	cases := []struct {
+		name string
+		body string
+		max  int64
+		want int
+	}{
+		{"ok", `{"name":"a"}`, 64, http.StatusOK},
+		{"over cap", `{"name":"` + strings.Repeat("x", 100) + `"}`, 64, http.StatusRequestEntityTooLarge},
+		{"not json", "nope", 64, http.StatusBadRequest},
+		{"empty", "", 64, http.StatusBadRequest},
+		{"unknown field", `{"name":"a","bogus":1}`, 64, http.StatusBadRequest},
+		{"trailing data", `{"name":"a"} extra`, 64, http.StatusBadRequest},
+		{"wrong type", `{"name":7}`, 64, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p payload
+			w, r := postReq(tc.body)
+			code, err := DecodeJSONRequest(w, r, tc.max, &p)
+			if code != tc.want {
+				t.Fatalf("code = %d (err %v), want %d", code, err, tc.want)
+			}
+			if (err == nil) != (tc.want == http.StatusOK) {
+				t.Fatalf("err = %v inconsistent with code %d", err, code)
+			}
+		})
+	}
+}
+
+func TestReadRawBody(t *testing.T) {
+	w, r := postReq("hello")
+	b, code, err := ReadRawBody(w, r, 16)
+	if err != nil || code != http.StatusOK || string(b) != "hello" {
+		t.Fatalf("got %q code=%d err=%v", b, code, err)
+	}
+
+	w, r = postReq(strings.Repeat("z", 64))
+	if _, code, err := ReadRawBody(w, r, 16); code != http.StatusRequestEntityTooLarge || err == nil {
+		t.Fatalf("oversized body: code=%d err=%v, want 413", code, err)
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // cloneTestNetlist elaborates a small sequential design with hierarchy so
 // the clone has flops, a clock, a reset-free path, and groups to copy.
-func cloneTestNetlist(t *testing.T) *Netlist {
+func cloneTestNetlist(t testing.TB) *Netlist {
 	t.Helper()
 	src := `
 module add (input [3:0] a, input [3:0] b, output [3:0] y);

@@ -1,0 +1,185 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/liberty"
+)
+
+// TestCodecRoundTrip: Decode(Encode(nl)) reproduces the netlist with the
+// same exactness contract as Clone — IDs, slice orders, sink orders,
+// generations, ID bounds, and structural verilog all preserved.
+func TestCodecRoundTrip(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	nl.Groups["scratch"] = 0 // survive an empty group entry too
+
+	blob := Encode(nl)
+	cp, err := Decode(blob, nl.Lib)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := cp.Check(); err != nil {
+		t.Fatalf("decoded netlist fails invariant check: %v", err)
+	}
+	if cp.Name != nl.Name || cp.Lib != nl.Lib {
+		t.Fatalf("name/lib mismatch: %q vs %q", cp.Name, nl.Name)
+	}
+	if cp.Gen() != nl.Gen() || cp.TopoGen() != nl.TopoGen() {
+		t.Fatalf("generations not preserved: (%d,%d) vs (%d,%d)",
+			cp.Gen(), cp.TopoGen(), nl.Gen(), nl.TopoGen())
+	}
+	if cp.NetIDBound() != nl.NetIDBound() || cp.CellIDBound() != nl.CellIDBound() {
+		t.Fatalf("ID bounds not preserved")
+	}
+	if len(cp.Groups) != len(nl.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(cp.Groups), len(nl.Groups))
+	}
+	for g, n := range nl.Groups {
+		if cp.Groups[g] != n {
+			t.Fatalf("group %q count %d, want %d", g, cp.Groups[g], n)
+		}
+	}
+	if len(cp.Cells) != len(nl.Cells) || len(cp.Nets) != len(nl.Nets) {
+		t.Fatalf("object counts differ")
+	}
+	for i := range nl.Cells {
+		a, b := nl.Cells[i], cp.Cells[i]
+		if a.ID != b.ID || a.Name != b.Name || a.Ref != b.Ref || a.Module != b.Module ||
+			a.Group != b.Group || a.Fixed != b.Fixed {
+			t.Fatalf("cell %d fields differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("cell %d input counts differ", i)
+		}
+		for j := range a.Inputs {
+			if a.Inputs[j].ID != b.Inputs[j].ID {
+				t.Fatalf("cell %d input %d net ID differs", i, j)
+			}
+		}
+		if a.Output.ID != b.Output.ID {
+			t.Fatalf("cell %d output net ID differs", i)
+		}
+		if (a.Clock == nil) != (b.Clock == nil) || (a.Reset == nil) != (b.Reset == nil) {
+			t.Fatalf("cell %d clock/reset shape differs", i)
+		}
+		if a.Clock != nil && a.Clock.ID != b.Clock.ID {
+			t.Fatalf("cell %d clock net differs", i)
+		}
+	}
+	for i := range nl.Nets {
+		a, b := nl.Nets[i], cp.Nets[i]
+		if a.ID != b.ID || a.Name != b.Name || a.PI != b.PI || a.PO != b.PO ||
+			a.Const != b.Const || a.Val != b.Val || a.IsClk != b.IsClk || a.IsRst != b.IsRst {
+			t.Fatalf("net %d fields differ", i)
+		}
+		if len(a.Sinks) != len(b.Sinks) {
+			t.Fatalf("net %d sink counts differ", i)
+		}
+		for j := range a.Sinks {
+			if a.Sinks[j].Cell.ID != b.Sinks[j].Cell.ID || a.Sinks[j].Index != b.Sinks[j].Index {
+				t.Fatalf("net %d sink %d order not preserved", i, j)
+			}
+		}
+		if (a.Driver == nil) != (b.Driver == nil) ||
+			(a.Driver != nil && a.Driver.ID != b.Driver.ID) {
+			t.Fatalf("net %d driver differs", i)
+		}
+	}
+	if WriteVerilog(cp) != WriteVerilog(nl) {
+		t.Fatalf("structural verilog of decoded netlist differs from original")
+	}
+
+	// The decoded netlist is fully editable and isolated from the original.
+	before := WriteVerilog(nl)
+	cp.Ungroup("")
+	cp.NewNet("scratch_net")
+	if WriteVerilog(nl) != before {
+		t.Fatalf("mutating the decoded netlist changed the original")
+	}
+}
+
+// TestCodecDeterministic: the same netlist always encodes to the same bytes,
+// and a decode→re-encode round trip is byte-identical. This is what makes
+// checkpoint blobs content-addressable across replicas.
+func TestCodecDeterministic(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	b1, b2 := Encode(nl), Encode(nl)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two encodes of the same netlist differ")
+	}
+	cp, err := Decode(b1, nl.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(cp), b1) {
+		t.Fatalf("re-encode after decode is not byte-identical")
+	}
+	b3 := Encode(nl.Clone())
+	if !bytes.Equal(b3, b1) {
+		t.Fatalf("encode of a clone differs from encode of the original")
+	}
+}
+
+// TestCodecRejectsCorruption: no prefix truncation, byte flip, or trailing
+// garbage may panic or decode successfully into a netlist that fails Check.
+func TestCodecRejectsCorruption(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	blob := Encode(nl)
+
+	for n := 0; n < len(blob); n++ {
+		if _, err := Decode(blob[:n], nl.Lib); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, blob...), 0xFF), nl.Lib); err == nil {
+		t.Fatalf("trailing byte decoded successfully")
+	}
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte{}, blob...)
+		mut[i] ^= 0x41
+		cp, err := Decode(mut, nl.Lib)
+		if err != nil {
+			continue
+		}
+		// A flip in a name or flag byte can decode; it must still be a
+		// structurally sound netlist, never a half-built one.
+		if err := cp.Check(); err != nil {
+			t.Fatalf("flip at byte %d decoded into inconsistent netlist: %v", i, err)
+		}
+	}
+}
+
+// TestCodecUnknownLibraryCell: a blob referencing a cell the decoder's
+// library does not have is an error, not a nil Ref.
+func TestCodecUnknownLibraryCell(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	var victim string
+	for _, c := range nl.Cells {
+		victim = c.Ref.Name
+		break
+	}
+	blob := bytes.Replace(Encode(nl), []byte(victim), []byte("ZZZZ"+victim[4:]), 1)
+	if _, err := Decode(blob, liberty.Nangate45()); err == nil {
+		t.Fatalf("unknown library cell decoded successfully")
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	nl := cloneTestNetlist(f)
+	blob := Encode(nl)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte(codecMagic))
+	f.Add([]byte{})
+	lib := nl.Lib
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data, lib)
+		if err != nil {
+			return
+		}
+		if err := cp.Check(); err != nil {
+			t.Fatalf("decoded netlist fails invariant check: %v", err)
+		}
+	})
+}

@@ -123,15 +123,11 @@ func (s *Store) Put(key Key, rec Record) {
 	if s.log == nil || s.degraded.Load() {
 		return
 	}
-	var err error
-	for attempt := 1; attempt <= appendAttempts; attempt++ {
-		if err = s.log.Append(key, rec); err == nil {
-			return
-		}
-		s.appendErrs.Add(1)
-		if !resilience.IsRetryableDisk(err) {
-			break
-		}
+	failures, err := resilience.RetryBounded(appendAttempts, resilience.IsRetryableDisk,
+		func() error { return s.log.Append(key, rec) })
+	s.appendErrs.Add(int64(failures))
+	if err == nil {
+		return
 	}
 	s.degraded.Store(true)
 	s.warnf("qorlog: log write failed, degrading to memory-only mode "+
@@ -153,6 +149,22 @@ func (s *Store) Len() int {
 		return s.log.Len()
 	}
 	return s.cache.Len()
+}
+
+// Recompact rewrites the backing log with only live records (see
+// Log.Recompact). A memory-only or degraded store is a no-op. Concurrent
+// Put/Get callers are safe: the rewrite runs under the store lock, exactly
+// like the automatic recompaction an Append can trigger.
+func (s *Store) Recompact() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil || s.degraded.Load() {
+		return nil
+	}
+	return s.log.Recompact()
 }
 
 // Sync makes appended records durable now (Close also syncs).

@@ -1,0 +1,37 @@
+package qorlog
+
+import "encoding/hex"
+
+// The log's record payload doubles as the remote-cache wire format: a
+// replica PUTs exactly the bytes the log would frame, and the cache daemon
+// decodes them with the same codec the recovery scan uses. Keeping one
+// codec means a record that crossed the network round-trips bit-identically
+// to one replayed from disk — floats cross as raw little-endian bits in
+// both directions, never through a decimal representation.
+
+// EncodeRecord serializes key+record into the log's payload format (no
+// length/CRC framing — HTTP supplies the framing on the wire, the log adds
+// its own on disk).
+func EncodeRecord(key Key, rec Record) []byte { return encodeRecord(key, rec) }
+
+// DecodeRecord parses an EncodeRecord payload. ok is false when the bytes
+// do not round-trip exactly — short fields, trailing garbage, or a
+// truncated buffer.
+func DecodeRecord(buf []byte) (Key, Record, bool) { return decodeRecord(buf) }
+
+// Hex returns the key's lowercase hex form — the spelling used in
+// remote-cache URLs (/v1/qor/{key}).
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// KeyFromHex parses a 64-character hex key. ok is false for any other
+// length or non-hex input.
+func KeyFromHex(s string) (Key, bool) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return k, false
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, false
+	}
+	return k, true
+}

@@ -1,0 +1,238 @@
+package remotecache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// BlobStore is the server's checkpoint side: a size-bounded, disk-backed,
+// content-addressed blob store. Blobs are written to flat files named by
+// their (hex) key via the tmp+rename idiom, so a crash mid-write never
+// leaves a torn blob under a live name — on reopen the store sees either
+// the old bytes, the new bytes, or nothing. Total bytes are bounded with
+// LRU eviction; the mtime order of surviving files rebuilds the recency
+// order across restarts (coarse, but eviction is an optimization, not a
+// correctness property — an evicted checkpoint is simply recomputed).
+//
+// Safe for concurrent use; every method is nil-safe (a nil store holds
+// nothing). Like every tier of the result system, it
+// degrades instead of failing: a blob that cannot be written is dropped
+// (the client recomputes), a blob that cannot be read back is a miss.
+type BlobStore struct {
+	mu       sync.Mutex
+	dir      string
+	capBytes int64
+	curBytes int64
+	order    *list.List               // front = least recently used
+	entries  map[string]*list.Element // key -> element whose Value is *blobEntry
+
+	hits, misses, puts, evictions, dropped int64
+}
+
+type blobEntry struct {
+	key  string
+	size int64
+}
+
+// DefaultBlobCapBytes bounds the checkpoint store when the caller passes a
+// non-positive capacity: enough for hundreds of corpus-sized post-link
+// snapshots, small enough to stay a cache rather than an archive.
+const DefaultBlobCapBytes = 256 << 20
+
+// OpenBlobStore opens (creating if needed) a blob store rooted at dir
+// holding at most capBytes of blobs (<= 0 selects DefaultBlobCapBytes).
+// Unrecognized files in dir are ignored; recognized ones seed the store in
+// mtime order, oldest first, and anything over the cap is evicted
+// immediately.
+func OpenBlobStore(dir string, capBytes int64) (*BlobStore, error) {
+	if capBytes <= 0 {
+		capBytes = DefaultBlobCapBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("remotecache: blob dir: %w", err)
+	}
+	s := &BlobStore{
+		dir:      dir,
+		capBytes: capBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("remotecache: blob dir: %w", err)
+	}
+	type seed struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var seeds []seed
+	for _, de := range des {
+		if de.IsDir() || !validKey(de.Name()) {
+			continue // tmp files, strangers
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		seeds = append(seeds, seed{de.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mtime < seeds[j].mtime })
+	for _, sd := range seeds {
+		s.entries[sd.key] = s.order.PushBack(&blobEntry{key: sd.key, size: sd.size})
+		s.curBytes += sd.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// validKey accepts lowercase-hex names of sane length — the only names the
+// server hands the store — which doubles as path-traversal protection for
+// anything else found in the directory.
+func validKey(k string) bool {
+	if len(k) == 0 || len(k) > 128 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the blob for key and promotes it. A file that has gone
+// missing or unreadable under a live key is dropped and reported a miss.
+func (s *BlobStore) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, key))
+	if err != nil {
+		s.dropLocked(el)
+		s.misses++
+		return nil, false
+	}
+	s.order.MoveToBack(el)
+	s.hits++
+	return b, true
+}
+
+// Put stores a blob. Oversized blobs (bigger than the whole store) and
+// invalid keys are dropped silently; write failures drop the blob and leave
+// the store consistent. Re-putting a live key refreshes its recency and
+// replaces its bytes.
+func (s *BlobStore) Put(key string, blob []byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !validKey(key) || int64(len(blob)) > s.capBytes {
+		s.dropped++
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		s.dropped++
+		return
+	}
+	_, werr := tmp.Write(blob)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.dropped++
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		s.dropped++
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		s.curBytes -= el.Value.(*blobEntry).size
+		el.Value.(*blobEntry).size = int64(len(blob))
+		s.curBytes += int64(len(blob))
+		s.order.MoveToBack(el)
+	} else {
+		s.entries[key] = s.order.PushBack(&blobEntry{key: key, size: int64(len(blob))})
+		s.curBytes += int64(len(blob))
+	}
+	s.puts++
+	s.evictLocked()
+}
+
+// Len returns the number of stored blobs.
+func (s *BlobStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the stored byte total.
+func (s *BlobStore) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curBytes
+}
+
+// BlobStats are the store's lifetime counters.
+type BlobStats struct {
+	Hits, Misses, Puts, Evictions, Dropped int64
+	Blobs                                  int
+	Bytes                                  int64
+}
+
+// Stats returns the current counters.
+func (s *BlobStore) Stats() BlobStats {
+	if s == nil {
+		return BlobStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return BlobStats{
+		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Evictions: s.evictions, Dropped: s.dropped,
+		Blobs: len(s.entries), Bytes: s.curBytes,
+	}
+}
+
+// evictLocked removes least-recently-used blobs until under the byte cap.
+func (s *BlobStore) evictLocked() {
+	for s.curBytes > s.capBytes {
+		el := s.order.Front()
+		if el == nil {
+			return
+		}
+		os.Remove(filepath.Join(s.dir, el.Value.(*blobEntry).key))
+		s.dropLocked(el)
+		s.evictions++
+	}
+}
+
+// dropLocked removes an entry from the index (not the file).
+func (s *BlobStore) dropLocked(el *list.Element) {
+	e := el.Value.(*blobEntry)
+	s.curBytes -= e.size
+	s.order.Remove(el)
+	delete(s.entries, e.key)
+}

@@ -1,0 +1,174 @@
+package remotecache
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The lease table extends per-process deduplication (singleflight inside one
+// chatlsd) fleet-wide: before a replica synthesizes a sample it claims the
+// sample's content key; siblings asking for the same key are told it is held
+// and poll for the result instead of duplicating the work. Leases are
+// time-bounded — a replica that crashes mid-synthesis simply lets its lease
+// expire, and the next claimant takes over. Correctness never depends on the
+// lease (results are content-addressed and idempotent to recompute); leases
+// only save work, so every failure mode degrades to "compute it yourself".
+
+// LeaseStatus is the outcome of a claim.
+type LeaseStatus string
+
+const (
+	// StatusGranted: the caller now holds the lease and should do the work,
+	// publish the result, then complete the lease.
+	StatusGranted LeaseStatus = "granted"
+	// StatusHeld: another replica is working on this key; poll for its result.
+	StatusHeld LeaseStatus = "held"
+	// StatusDone: the result already exists; fetch it, no work needed.
+	StatusDone LeaseStatus = "done"
+)
+
+// lease is one active claim.
+type lease struct {
+	id      string
+	key     string
+	owner   string
+	expires time.Time
+}
+
+// leaseTable is the server-side registry of active claims. Expiry is both
+// lazy (an expired lease is replaced at the next claim of its key) and
+// swept (the server runs Sweep periodically so the active gauge and the
+// table's memory track reality even for keys nobody re-claims).
+type leaseTable struct {
+	mu    sync.Mutex
+	byKey map[string]*lease
+	byID  map[string]*lease
+	seq   int64
+	now   func() time.Time // injectable clock for expiry tests
+
+	granted, held, expired, completed, renewed int64
+}
+
+func newLeaseTable(now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &leaseTable{
+		byKey: make(map[string]*lease),
+		byID:  make(map[string]*lease),
+		now:   now,
+	}
+}
+
+// Claim asks for the lease on key. It returns StatusGranted with a fresh
+// lease ID, or StatusHeld with the remaining TTL of the current holder's
+// lease. (StatusDone is decided by the server before consulting the table,
+// since the table does not know about results.)
+func (t *leaseTable) Claim(key, owner string, ttl time.Duration) (LeaseStatus, string, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if l, ok := t.byKey[key]; ok {
+		if now.Before(l.expires) {
+			t.held++
+			return StatusHeld, "", l.expires.Sub(now)
+		}
+		t.expired++
+		t.drop(l)
+	}
+	t.seq++
+	l := &lease{
+		id:      "l" + strconv.FormatInt(t.seq, 10),
+		key:     key,
+		owner:   owner,
+		expires: now.Add(ttl),
+	}
+	t.byKey[key] = l
+	t.byID[l.id] = l
+	t.granted++
+	return StatusGranted, l.id, ttl
+}
+
+// Renew extends a held lease. False when the lease is unknown or already
+// expired — the holder must treat that as having lost the lease.
+func (t *leaseTable) Renew(id string, ttl time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	now := t.now()
+	if !now.Before(l.expires) {
+		t.expired++
+		t.drop(l)
+		return false
+	}
+	l.expires = now.Add(ttl)
+	t.renewed++
+	return true
+}
+
+// Complete releases a lease after its work is published. Idempotent: an
+// unknown (already expired or completed) ID reports false but is not an
+// error worth failing a request over.
+func (t *leaseTable) Complete(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.drop(l)
+	t.completed++
+	return true
+}
+
+// Sweep drops every expired lease and returns how many it dropped.
+func (t *leaseTable) Sweep() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	n := 0
+	for _, l := range t.byID {
+		if !now.Before(l.expires) {
+			t.drop(l)
+			t.expired++
+			n++
+		}
+	}
+	return n
+}
+
+// Active returns the number of live leases.
+func (t *leaseTable) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// leaseStats are the table's lifetime counters.
+type leaseStats struct {
+	Granted, Held, Expired, Completed, Renewed int64
+	Active                                     int
+}
+
+func (t *leaseTable) stats() leaseStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return leaseStats{
+		Granted: t.granted, Held: t.held, Expired: t.expired,
+		Completed: t.completed, Renewed: t.renewed, Active: len(t.byID),
+	}
+}
+
+// drop removes l from both indexes. Caller holds t.mu. The byKey entry is
+// only removed when it still points at l (a later lease may have replaced
+// an expired one under the same key).
+func (t *leaseTable) drop(l *lease) {
+	delete(t.byID, l.id)
+	if cur, ok := t.byKey[l.key]; ok && cur == l {
+		delete(t.byKey, l.key)
+	}
+}

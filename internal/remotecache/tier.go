@@ -1,0 +1,169 @@
+package remotecache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/qorlog"
+)
+
+// Tier composes the local QoR store and the remote tier into the two-level
+// result store replicas actually use: read-through (local first, then
+// remote, with remote hits written back locally) and write-behind (local
+// synchronously — it is the correctness tier — remote via a background
+// publisher, so a slow or dying tier never sits on the synthesis path).
+//
+// Lease coordination (Acquire) passes through to the client; records a
+// sibling computed land in the local store on the way out, so the rest of
+// the request is served at local speed.
+//
+// Every method is nil-safe and total: with the remote side degraded or
+// absent, a Tier behaves exactly like its local store.
+type Tier struct {
+	local  *qorlog.Store
+	remote *Client
+
+	queue  chan tierPut
+	stop   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup // in-flight queued publishes
+	closed atomic.Bool
+}
+
+type tierPut struct {
+	key qorlog.Key
+	rec qorlog.Record
+}
+
+// publishQueueDepth bounds the write-behind queue. A full queue blocks Put
+// briefly rather than dropping (a degraded client drains instantly, so the
+// queue only backs up while the tier is alive but slow).
+const publishQueueDepth = 256
+
+// NewTier wires a two-level store. local is required; remote may be nil
+// (the Tier is then a thin wrapper over local). Call Close when done to
+// flush the publisher.
+func NewTier(local *qorlog.Store, remote *Client) *Tier {
+	t := &Tier{
+		local:  local,
+		remote: remote,
+		queue:  make(chan tierPut, publishQueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go t.publishLoop()
+	return t
+}
+
+func (t *Tier) publishLoop() {
+	defer close(t.done)
+	for {
+		select {
+		case p := <-t.queue:
+			t.remote.PutQoR(p.key, p.rec)
+			t.wg.Done()
+		case <-t.stop:
+			for {
+				select {
+				case p := <-t.queue:
+					t.remote.PutQoR(p.key, p.rec)
+					t.wg.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Get is the read-through lookup: local store first, then the remote tier.
+// A remote hit is written back locally so the next lookup stays local.
+func (t *Tier) Get(key qorlog.Key) (qorlog.Record, bool) {
+	if t == nil {
+		return qorlog.Record{}, false
+	}
+	if rec, ok := t.local.Get(key); ok {
+		return rec, true
+	}
+	if rec, ok := t.remote.GetQoR(key); ok {
+		t.local.Put(key, rec)
+		return rec, true
+	}
+	return qorlog.Record{}, false
+}
+
+// Put stores locally now and publishes to the remote tier behind the
+// caller's back.
+func (t *Tier) Put(key qorlog.Key, rec qorlog.Record) {
+	if t == nil {
+		return
+	}
+	t.local.Put(key, rec)
+	if t.remote == nil || t.remote.Degraded() || t.closed.Load() {
+		return
+	}
+	t.wg.Add(1)
+	select {
+	case t.queue <- tierPut{key, rec}:
+	case <-t.stop:
+		t.wg.Done()
+	}
+}
+
+// Acquire claims fleet-wide ownership of key's work (see Client.Acquire).
+// A record a sibling computed is written back to the local store. When the
+// lease is granted, the returned release first drains the write-behind
+// queue: the caller's Put must be visible on the server before the lease
+// completes, or a waiting sibling could re-claim the key and recompute it
+// (correct — results are idempotent — but the dedup guarantee would leak).
+func (t *Tier) Acquire(ctx context.Context, key qorlog.Key) (qorlog.Record, bool, func()) {
+	if t == nil || t.remote == nil {
+		return qorlog.Record{}, false, func() {}
+	}
+	rec, ok, release := t.remote.Acquire(ctx, key)
+	if ok {
+		t.local.Put(key, rec)
+		return rec, true, release
+	}
+	return rec, false, func() {
+		t.wg.Wait()
+		release()
+	}
+}
+
+// Flush blocks until every queued publish has been attempted.
+func (t *Tier) Flush() {
+	if t == nil {
+		return
+	}
+	t.wg.Wait()
+}
+
+// Close flushes and stops the publisher. Call after the last Put (the
+// serving path closes the tier during shutdown, after request drain);
+// late Puts still land locally and skip the remote tier. Idempotent.
+func (t *Tier) Close() {
+	if t == nil || !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	t.wg.Wait()
+	close(t.stop)
+	<-t.done
+}
+
+// Local exposes the local store (metrics wiring).
+func (t *Tier) Local() *qorlog.Store {
+	if t == nil {
+		return nil
+	}
+	return t.local
+}
+
+// Remote exposes the remote client (metrics wiring). May be nil.
+func (t *Tier) Remote() *Client {
+	if t == nil {
+		return nil
+	}
+	return t.remote
+}

@@ -37,6 +37,7 @@ const (
 	CompGenerate    = "llm/generate"
 	CompExpert      = "synthexpert"
 	CompSynth       = "synth"
+	CompRemoteCache = "remotecache"
 )
 
 // The error taxonomy. Every guarded failure wraps exactly one of these

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// RetryBounded runs op up to attempts times (attempts <= 0 selects 1),
+// stopping early when it succeeds or when retryable reports the error is not
+// worth another attempt. It returns the number of failed attempts and the
+// final error (nil on success), so callers can account every failure in
+// their metrics without keeping their own loop.
+//
+// This is the one bounded-retry loop shared by the durable stores: the QoR
+// log's append path (retryable = IsRetryableDisk) and the remote-cache
+// client's HTTP operations (retryable = IsRetryableNet) both classify with
+// their own predicate but retry with the same shape. Unlike Execute it adds
+// no backoff, panic recovery, or context plumbing — it is for tight local
+// loops over operations that either succeed quickly or should stop being
+// hammered.
+func RetryBounded(attempts int, retryable func(error) bool, op func() error) (failures int, err error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err = op(); err == nil {
+			return failures, nil
+		}
+		failures++
+		if retryable == nil || !retryable(err) {
+			return failures, err
+		}
+	}
+	return failures, err
+}
+
+// IsRetryableNet classifies a network-I/O error as transient (worth retrying
+// the request against the same endpoint) or terminal (the endpoint is gone;
+// the caller should degrade instead of hammering it). Timeouts and
+// mid-flight connection drops are transient — the peer was there and may
+// answer a retry; a refused or unreachable connection means nothing is
+// listening, which retries will not fix on the timescale of one request.
+func IsRetryableNet(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	return false
+}

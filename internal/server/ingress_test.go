@@ -122,9 +122,10 @@ func FuzzCustomizeRequest(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
-	srv := &Server{cfg: Config{DefaultK: 1, MaxK: 10, MaxRequirementLen: 256}}
+	srv := &Server{cfg: Config{DefaultK: 1, MaxK: 10, MaxRequirementLen: 256, MaxBodyBytes: 4096}}
 	f.Fuzz(func(t *testing.T, body string) {
-		req, code, err := srv.decodeCustomize(strings.NewReader(body))
+		r := httptest.NewRequest(http.MethodPost, "/v1/customize", strings.NewReader(body))
+		req, code, err := srv.decodeCustomize(httptest.NewRecorder(), r)
 		switch code {
 		case http.StatusOK:
 			if err != nil {

@@ -22,7 +22,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"sync/atomic"
@@ -36,6 +35,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/metrics"
 	"repro/internal/qorlog"
+	"repro/internal/remotecache"
 	"repro/internal/resilience"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -80,6 +80,16 @@ type Config struct {
 	// QoRLogOpts tunes recompaction and fault injection (tests).
 	QoRLogOpts qorlog.Options
 
+	// RemoteCache, when non-nil, connects this replica to a shared
+	// chatlscached result tier: QoR lookups read through to it, fresh
+	// results publish to it in the background, elaboration checkpoints are
+	// shared by content key, and Pass@k samples claim fleet-wide leases so
+	// concurrent replicas synthesize each unique (library, sources, script)
+	// exactly once between them. A dead or unreachable tier degrades the
+	// replica to local-only operation with a single warning; results are
+	// bit-identical with or without it.
+	RemoteCache *remotecache.Client
+
 	DefaultK int // Pass@k when the request omits k (default 1)
 	MaxK     int // upper bound on requested k (default 10)
 
@@ -97,13 +107,14 @@ type taskEntry struct {
 // Server handles the ChatLS HTTP API. Create with New, serve via Handler,
 // stop with Close.
 type Server struct {
-	cfg    Config
-	byName map[string]*designs.Design
-	pool   *workpool.Pool
-	flight *flightGroup
+	cfg     Config
+	byName  map[string]*designs.Design
+	pool    *workpool.Pool
+	flight  *flightGroup
 	tasks   *lru.Cache[string, taskEntry]
 	ckpt    *synth.CheckpointStore // nil when CheckpointCap < 0
 	results *qorlog.Store          // nil when QoRLogPath == ""
+	tier    *remotecache.Tier      // nil when RemoteCache is nil
 	reg     *metrics.Registry
 	closed  atomic.Bool
 
@@ -195,6 +206,14 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.results = store
 	}
+	if cfg.RemoteCache != nil {
+		// The tier layers the remote cache over the local store (which may
+		// be nil — *qorlog.Store is nil-safe — leaving a remote-only tier).
+		s.tier = remotecache.NewTier(s.results, cfg.RemoteCache)
+		if s.ckpt != nil {
+			s.ckpt.SetRemote(cfg.RemoteCache)
+		}
+	}
 	for _, d := range cfg.Designs {
 		s.byName[d.Name] = d
 	}
@@ -251,6 +270,33 @@ func New(cfg Config) (*Server, error) {
 		func() int64 { return int64(s.pool.Queued()) })
 	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
 		func() int64 { return int64(s.pool.Busy()) })
+	if rc := cfg.RemoteCache; rc != nil {
+		s.reg.NewCounterFunc("remotecache_client_qor_hits_total", "QoR records served by the remote result tier",
+			func() int64 { return rc.Stats().QoRHits })
+		s.reg.NewCounterFunc("remotecache_client_qor_misses_total", "remote result-tier QoR lookups that missed",
+			func() int64 { return rc.Stats().QoRMisses })
+		s.reg.NewCounterFunc("remotecache_client_qor_puts_total", "QoR records published to the remote result tier",
+			func() int64 { return rc.Stats().QoRPuts })
+		s.reg.NewCounterFunc("remotecache_client_checkpoint_hits_total", "elaboration checkpoints restored from the remote tier",
+			func() int64 { return rc.Stats().BlobHits })
+		s.reg.NewCounterFunc("remotecache_client_checkpoint_misses_total", "remote checkpoint lookups that missed",
+			func() int64 { return rc.Stats().BlobMisses })
+		s.reg.NewCounterFunc("remotecache_client_checkpoint_puts_total", "elaboration checkpoints published to the remote tier",
+			func() int64 { return rc.Stats().BlobPuts })
+		s.reg.NewCounterFunc("remotecache_client_leases_granted_total", "fleet-wide work leases this replica was granted",
+			func() int64 { return rc.Stats().LeasesGranted })
+		s.reg.NewCounterFunc("remotecache_client_lease_waits_total", "times this replica waited on a sibling's lease",
+			func() int64 { return rc.Stats().LeaseWaits })
+		s.reg.NewCounterFunc("remotecache_client_dropped_total", "remote-tier operations dropped by degradation or errors",
+			func() int64 { return rc.Stats().Dropped })
+		s.reg.NewGaugeFunc("remotecache_client_degraded", "1 once the remote tier was abandoned (local-only mode)",
+			func() int64 {
+				if rc.Degraded() {
+					return 1
+				}
+				return 0
+			})
+	}
 	s.latency = s.reg.NewHistogram("chatlsd_customize_seconds", "end-to-end customize latency", metrics.DefaultLatencyBuckets)
 
 	// Timing-engine counters are process-wide (the sta package keeps them as
@@ -272,6 +318,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		s.pool.Close()
+		s.tier.Close()
 		s.results.Close()
 	}
 }
@@ -297,6 +344,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
+	s.tier.Close() // flush queued remote publishes before the local log closes
 	if cerr := s.results.Close(); err == nil {
 		err = cerr
 	}
@@ -306,6 +354,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // QoRStats exposes the QoR store's counters (zeros when no log is
 // configured) — the daemon logs recovery results at startup from these.
 func (s *Server) QoRStats() qorlog.StoreStats { return s.results.Stats() }
+
+// resultStore picks the result store samples evaluate against: the two-level
+// tier when a remote cache is wired, the local store alone otherwise. The
+// explicit nil return keeps the interface nil (a typed-nil *qorlog.Store
+// would read as "caching enabled" to the evaluator).
+func (s *Server) resultStore() chatls.ResultStore {
+	if s.tier != nil {
+		return s.tier
+	}
+	if s.results != nil {
+		return s.results
+	}
+	return nil
+}
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -361,25 +423,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // decodeCustomize decodes and validates a customize request body. It is the
 // trust boundary for /v1/customize: arbitrary bytes in, either a normalized
 // request out or an HTTP status in {413, 400, 422} with a safe message —
-// never a panic, never a 500 for any input shape. Syntax problems (bad JSON,
-// unknown fields, trailing data) are 400; a body over the MaxBytesReader cap
-// is 413; well-formed JSON with invalid field values is 422. Design-name
-// existence is checked by the caller (404), since it depends on server state
-// rather than the bytes themselves.
-func (s *Server) decodeCustomize(body io.Reader) (customizeRequest, int, error) {
+// never a panic, never a 500 for any input shape. The byte-cap and syntax
+// layers (413 over the cap, 400 for bad JSON / unknown fields / trailing
+// data) are the shared inputlimits.DecodeJSONRequest guard; well-formed JSON
+// with invalid field values is 422. Design-name existence is checked by the
+// caller (404), since it depends on server state rather than the bytes
+// themselves.
+func (s *Server) decodeCustomize(w http.ResponseWriter, r *http.Request) (customizeRequest, int, error) {
 	var req customizeRequest
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return req, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
-		}
-		return req, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
-	}
-	if dec.More() {
-		return req, http.StatusBadRequest, errors.New("bad request body: trailing data after JSON object")
+	if code, err := inputlimits.DecodeJSONRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return req, code, err
 	}
 	if len(req.Requirement) > s.cfg.MaxRequirementLen {
 		return req, http.StatusUnprocessableEntity,
@@ -415,7 +468,7 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Inc()
 
-	req, code, err := s.decodeCustomize(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	req, code, err := s.decodeCustomize(w, r)
 	if err != nil {
 		switch code {
 		case http.StatusRequestEntityTooLarge:
@@ -490,7 +543,7 @@ func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customi
 	t.Requirement = req.Requirement
 
 	res, err := chatls.EvalTaskOpts(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib,
-		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt, Results: s.results})
+		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt, Results: s.resultStore()})
 	if err != nil {
 		s.countErr(err)
 		return nil, err

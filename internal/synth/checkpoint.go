@@ -35,7 +35,31 @@ import (
 // restored design can never corrupt the snapshot. Eviction is LRU with a
 // bounded entry count.
 type CheckpointStore struct {
-	cache *lru.Cache[string, *checkpoint]
+	cache  *lru.Cache[string, *checkpoint]
+	remote BlobCache
+}
+
+// BlobCache is a second, remote tier of checkpoint storage shared by
+// replicas (implemented by the remote-cache client). Keys are the raw
+// checkpointKey bytes; values are encodeCheckpoint blobs. Implementations
+// must be concurrency-safe and non-blocking under failure: a GetBlob against
+// an unreachable tier reports a miss, a PutBlob is dropped — degradation,
+// never an error surfaced into the synthesis path.
+type BlobCache interface {
+	GetBlob(key string) ([]byte, bool)
+	PutBlob(key string, blob []byte)
+}
+
+// SetRemote attaches a remote blob tier. Local snapshots are pushed to it on
+// capture; local misses consult it before falling back to fresh elaboration.
+// Must be called before the store is shared across goroutines (wiring time),
+// like every other store option. Nil-safe; attaching to a nil store is a
+// no-op, and r may be nil to detach.
+func (s *CheckpointStore) SetRemote(r BlobCache) {
+	if s == nil {
+		return
+	}
+	s.remote = r
 }
 
 // DefaultCheckpointCap is the store capacity used when NewCheckpointStore is
@@ -80,10 +104,19 @@ func (s *CheckpointStore) Len() int {
 
 // checkpoint is one immutable post-link snapshot.
 type checkpoint struct {
-	nl   *netlist.Netlist     // pristine post-link netlist; restores clone it
-	file *verilog.SourceFile  // parsed sources (modules shared read-only)
-	top  string               // resolved top module
-	log  []string             // transcript lines the prefix produced
+	nl   *netlist.Netlist    // pristine post-link netlist; restores clone it
+	file *verilog.SourceFile // parsed sources (modules shared read-only)
+	top  string              // resolved top module
+	log  []string            // transcript lines the prefix produced
+	srcs []srcText           // (file, text) in read order, for serialization
+}
+
+// srcText is one source file as the prefix read it. Carried so a checkpoint
+// can be serialized: the decoder re-parses the sources in read order, which
+// rebuilds file.Modules identically (modules are immutable values of the
+// text, and read order decides precedence and the default top).
+type srcText struct {
+	Name, Text string
 }
 
 // linkPrefix recognizes the canonical elaboration prefix of a parsed script:
@@ -210,23 +243,44 @@ func LibraryFingerprint(lib *liberty.Library) string {
 	return string(h.Sum(nil))
 }
 
-// get returns the snapshot for key, nil on a miss. Nil-safe.
-func (s *CheckpointStore) get(key string) *checkpoint {
+// get returns the snapshot for key, nil on a miss. On a local miss with a
+// remote tier attached, the tier is consulted: a blob that decodes cleanly
+// against lib (the session's library — the key binds its fingerprint, so a
+// remote hit always pairs with an equivalent library) is cached locally and
+// served; an undecodable blob is treated as a miss, because remote bytes are
+// untrusted input and a fresh elaboration is always available. Nil-safe.
+func (s *CheckpointStore) get(key string, lib *liberty.Library) *checkpoint {
 	if s == nil {
 		return nil
 	}
-	cp, ok := s.cache.Get(key)
+	if cp, ok := s.cache.Get(key); ok {
+		return cp
+	}
+	if s.remote == nil {
+		return nil
+	}
+	blob, ok := s.remote.GetBlob(key)
 	if !ok {
 		return nil
 	}
+	cp, err := decodeCheckpoint(blob, lib)
+	if err != nil {
+		return nil
+	}
+	s.cache.Add(key, cp)
 	return cp
 }
 
-// put stores a snapshot. The caller must hand over a snapshot it will never
-// mutate (RunContext clones the live netlist at capture time). Nil-safe.
+// put stores a snapshot locally and, when a remote tier is attached, pushes
+// its serialized form so sibling replicas skip the same elaboration. The
+// caller must hand over a snapshot it will never mutate (RunContext clones
+// the live netlist at capture time). Nil-safe.
 func (s *CheckpointStore) put(key string, cp *checkpoint) {
 	if s == nil {
 		return
 	}
 	s.cache.Add(key, cp)
+	if s.remote != nil {
+		s.remote.PutBlob(key, encodeCheckpoint(cp))
+	}
 }

@@ -182,7 +182,7 @@ func TestCheckpointSnapshotImmutable(t *testing.T) {
 	if !ok {
 		t.Fatal("key underivable")
 	}
-	cp := store.get(key)
+	cp := store.get(key, liberty.Nangate45())
 	if cp == nil {
 		t.Fatal("prefix-only run did not store a snapshot")
 	}

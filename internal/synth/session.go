@@ -86,14 +86,15 @@ func (s *Session) RunContext(ctx context.Context, script string) (*Result, error
 	// overruns surface at the same command either way.
 	start := 0
 	captureAt, captureKey := -1, ""
+	var captureFiles []string
 	if s.Checkpoints != nil {
 		if end, files, top, ok := linkPrefix(cmds); ok && (budget <= 0 || end < budget) {
 			if key, ok := s.checkpointKey(files, top); ok {
-				if cp := s.Checkpoints.get(key); cp != nil {
+				if cp := s.Checkpoints.get(key, s.Lib); cp != nil {
 					st.restore(cp)
 					start = end + 1
 				} else {
-					captureAt, captureKey = end, key
+					captureAt, captureKey, captureFiles = end, key, files
 				}
 			}
 		}
@@ -112,7 +113,7 @@ func (s *Session) RunContext(ctx context.Context, script string) (*Result, error
 			return nil, fmt.Errorf("line %d: %s: %v", c.Line, c.Name, err)
 		}
 		if i == captureAt {
-			s.Checkpoints.put(captureKey, st.snapshot())
+			s.Checkpoints.put(captureKey, st.snapshot(captureFiles))
 		}
 	}
 	if st.design != nil && st.design.Cons.Period > 0 {
@@ -142,14 +143,20 @@ func (st *execState) logf(format string, args ...any) {
 
 // snapshot captures the session state right after the link command executed:
 // a pristine clone of the linked netlist, the parsed sources, the resolved
-// top, and the transcript lines the prefix wrote. The clone decouples the
-// snapshot from every later mutation of the live design.
-func (st *execState) snapshot() *checkpoint {
+// top, the transcript lines the prefix wrote, and the source texts in read
+// order (so the snapshot can be serialized for the remote tier). The clone
+// decouples the snapshot from every later mutation of the live design.
+func (st *execState) snapshot(files []string) *checkpoint {
+	srcs := make([]srcText, 0, len(files))
+	for _, f := range files {
+		srcs = append(srcs, srcText{Name: f, Text: st.sess.Sources[f]})
+	}
 	return &checkpoint{
 		nl:   st.design.NL.Clone(),
 		file: st.file,
 		top:  st.top,
 		log:  append([]string(nil), st.res.Log...),
+		srcs: srcs,
 	}
 }
 
