@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare fuzz-smoke crash-recovery remote-cache-e2e check
+.PHONY: build test short race vet ci serve bench bench-compare batch-race fuzz-smoke crash-recovery remote-cache-e2e check
 
 build:
 	$(GO) build ./...
@@ -29,16 +29,28 @@ BENCH ?= Elaborate|Compile|Customize|Embed
 bench:
 	$(GO) test -bench='$(BENCH)' -benchmem -run=^$$ .
 
-# Headline perf record: runs the paper-scale benchmarks and the
-# checkpointing pair five times each and writes the averaged ns/op, B/op,
-# allocs/op to BENCH_4.json for comparison against earlier checked-in
-# records. CompileUltraSwerv matches both the fresh and the checkpointed
-# variant; their ratio is the elaboration-checkpoint speedup.
-COMPARE ?= Table2DatabaseBuild|Table4Baseline|CompileUltraSwerv|CheckpointRestore
+# Headline perf record: runs the paper-scale benchmarks, the checkpointing
+# pair, the batched-vs-serial embedding pair, and the Flat-vs-HNSW retrieval
+# pair five times each and writes the averaged ns/op, B/op, allocs/op (plus
+# custom units like recall and hops/op) to BENCH_5.json for comparison
+# against earlier checked-in records. CompileUltraSwerv matches both the
+# fresh and the checkpointed variant (their ratio is the checkpoint
+# speedup); EmbedGlobalSerial/Batched is the batching speedup per flush;
+# FlatSearch10k/HNSWSearch10k is the sublinear-retrieval speedup.
+COMPARE ?= Table2DatabaseBuild|Table4Baseline|CompileUltraSwerv|CheckpointRestore|EmbedGlobalSerial|EmbedGlobalBatched
+SEARCH_COMPARE ?= FlatSearch10k|HNSWSearch10k
 bench-compare:
-	$(GO) test -bench='$(COMPARE)' -benchmem -benchtime=1x -count=5 -run=^$$ . \
-		| $(GO) run ./cmd/benchjson > BENCH_4.json
-	@cat BENCH_4.json
+	{ $(GO) test -bench='$(COMPARE)' -benchmem -benchtime=1x -count=5 -run=^$$ . ; \
+	  $(GO) test -bench='$(SEARCH_COMPARE)' -benchmem -count=5 -run=^$$ ./internal/vecindex ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_5.json
+	@cat BENCH_5.json
+
+# Continuous-batching correctness gate: the concurrent /v1/customize hammer
+# must produce byte-identical responses to a batching-disabled server, and
+# the batcher itself must be race-free, both under -race.
+batch-race:
+	$(GO) test ./internal/batch -race
+	$(GO) test ./internal/server -race -run 'TestBatchedCustomizeByteIdentical|TestHealthzEchoesBatchConfig'
 
 ci: build vet race
 
@@ -75,5 +87,5 @@ remote-cache-e2e:
 	$(GO) test . -race -run 'TestTwoReplicasDedupAndMatchSingleReplica|TestReplicaDegradesWhenTierDiesMidRun'
 
 # Everything CI runs plus the fuzz smoke pass, the crash-recovery gate,
-# and the distributed-result-tier gate.
-check: build vet race fuzz-smoke crash-recovery remote-cache-e2e
+# the distributed-result-tier gate, and the continuous-batching gate.
+check: build vet race batch-race fuzz-smoke crash-recovery remote-cache-e2e

@@ -20,16 +20,20 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's aggregated measurements.
+// Result is one benchmark's aggregated measurements. Custom holds the mean
+// of every b.ReportMetric unit the benchmark emitted (speedup ratios,
+// recall, hops/op, ...) keyed by unit name.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	Runs        int     `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
+	Runs        int                `json:"runs"`
 }
 
 type accum struct {
 	ns, b, allocs float64
+	custom        map[string]float64
 	hasMem        bool
 	runs          int
 }
@@ -79,6 +83,11 @@ func parse(r io.Reader) (map[string]*accum, error) {
 			case "allocs/op":
 				a.allocs += v
 				a.hasMem = true
+			default:
+				if a.custom == nil {
+					a.custom = make(map[string]float64)
+				}
+				a.custom[fields[i+1]] += v
 			}
 		}
 	}
@@ -93,6 +102,12 @@ func summarize(accums map[string]*accum) map[string]Result {
 		if a.hasMem {
 			res.BPerOp = a.b / n
 			res.AllocsPerOp = a.allocs / n
+		}
+		if len(a.custom) > 0 {
+			res.Custom = make(map[string]float64, len(a.custom))
+			for unit, sum := range a.custom {
+				res.Custom[unit] = sum / n
+			}
 		}
 		out[name] = res
 	}

@@ -34,6 +34,28 @@ ok  	repro	1.234s
 	}
 }
 
+func TestParseCapturesCustomUnits(t *testing.T) {
+	in := `BenchmarkHNSWSearch10k-8	5000	  210000 ns/op	      0.980 recall	   340 hops/op
+BenchmarkHNSWSearch10k-8	5000	  190000 ns/op	      0.990 recall	   360 hops/op
+BenchmarkEmbedBatched-8 	 100	 1000000 ns/op	       2.50 speedup
+`
+	accums, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := summarize(accums)
+	h := sum["BenchmarkHNSWSearch10k"]
+	if h.Runs != 2 || h.NsPerOp != 200000 {
+		t.Errorf("HNSWSearch10k = %+v", h)
+	}
+	if h.Custom["recall"] != 0.985 || h.Custom["hops/op"] != 350 {
+		t.Errorf("custom units = %v, want recall 0.985 hops/op 350", h.Custom)
+	}
+	if s := sum["BenchmarkEmbedBatched"].Custom["speedup"]; s != 2.5 {
+		t.Errorf("speedup = %v, want 2.5", s)
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":      "BenchmarkFoo",

@@ -44,6 +44,9 @@ func main() {
 	taskCache := flag.Int("task-cache", 16, "baseline-task cache entries")
 	embedCache := flag.Int("embed-cache", 64, "design-embedding cache entries")
 	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
+	batchWindow := flag.Duration("batch-window", 0, "embedding admission-queue wait window (0 = default, negative disables batching)")
+	batchMax := flag.Int("batch-max", 0, "embedding requests per coalesced batch before an early flush (0 = default)")
+	hnswEf := flag.Int("hnsw-ef", 0, "HNSW search beam width for indexes past the corpus-size threshold (0 = index default)")
 	checkpointCap := flag.Int("checkpoint-cap", 0, "elaboration-checkpoint store entries (0 = default, negative disables)")
 	qorLog := flag.String("qor-log", "", "durable QoR log path: synthesis outcomes persist across restarts (empty disables)")
 	qorCache := flag.Int("qor-cache", 0, "in-memory QoR record cache entries in front of the log (0 = default)")
@@ -118,6 +121,10 @@ func main() {
 		TaskCacheSize:     *taskCache,
 		EmbedCacheSize:    *embedCache,
 		RetrieveCacheSize: *retrieveCache,
+		BatchWindow:       *batchWindow,
+		BatchMax:          *batchMax,
+		DisableBatching:   *batchWindow < 0,
+		HNSWEf:            *hnswEf,
 		CheckpointCap:     *checkpointCap,
 		QoRLogPath:        *qorLog,
 		QoRCacheSize:      *qorCache,

@@ -1,0 +1,221 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// doubler is a positionally pure run function with a call counter.
+func doubler(calls *atomic.Int64) func([]int) ([]int, error) {
+	return func(reqs []int) ([]int, error) {
+		calls.Add(1)
+		out := make([]int, len(reqs))
+		for i, r := range reqs {
+			out[i] = 2 * r
+		}
+		return out, nil
+	}
+}
+
+func TestSingleRequestFlushesOnWindow(t *testing.T) {
+	var calls atomic.Int64
+	b := New(time.Millisecond, 8, doubler(&calls))
+	got, err := b.Do(21)
+	if err != nil || got != 42 {
+		t.Fatalf("Do = %d, %v; want 42", got, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+	st := b.Stats()
+	if st.Flushes != 1 || st.Items != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFullBatchFlushesImmediately(t *testing.T) {
+	var calls atomic.Int64
+	const n = 8
+	// A long window: without the full-batch fast path this test would stall.
+	b := New(time.Minute, n, doubler(&calls))
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Do(i)
+			if err != nil {
+				t.Errorf("Do(%d): %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range results {
+		if v != 2*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 coalesced flush", calls.Load())
+	}
+}
+
+func TestResponsesMatchRequestsAcrossManyFlushes(t *testing.T) {
+	var calls atomic.Int64
+	b := New(200*time.Microsecond, 4, doubler(&calls))
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Do(i)
+			if err != nil || v != 2*i {
+				t.Errorf("Do(%d) = %d, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Items != 200 {
+		t.Errorf("items = %d, want 200", st.Items)
+	}
+	if st.Flushes < 50 { // 200 items at max 4 per flush
+		t.Errorf("flushes = %d, want >= 50", st.Flushes)
+	}
+}
+
+func TestRunErrorReachesEveryWaiter(t *testing.T) {
+	boom := errors.New("boom")
+	b := New(time.Millisecond, 2, func(reqs []int) ([]int, error) { return nil, boom })
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Do(1); !errors.Is(err, boom) {
+				t.Errorf("err = %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRunPanicBecomesError(t *testing.T) {
+	b := New(time.Millisecond, 4, func(reqs []int) ([]int, error) { panic("kernel oops") })
+	if _, err := b.Do(1); err == nil {
+		t.Fatal("panicking run must surface as an error, not a deadlock")
+	}
+}
+
+func TestShortResponseSliceIsError(t *testing.T) {
+	b := New(time.Millisecond, 2, func(reqs []int) ([]int, error) { return make([]int, 1), nil })
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Do(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("waiter %d: miscounted responses must error", i)
+		}
+	}
+}
+
+func TestContextCancelAbandonsWaitWithoutBlockingFlush(t *testing.T) {
+	release := make(chan struct{})
+	b := New(time.Millisecond, 8, func(reqs []int) ([]int, error) {
+		<-release
+		return doubler(new(atomic.Int64))(reqs)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.DoContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release) // the flush completes and drops the orphaned response
+}
+
+func TestObserverSeesSizeAndWait(t *testing.T) {
+	var calls atomic.Int64
+	b := New(500*time.Microsecond, 4, doubler(&calls))
+	var mu sync.Mutex
+	var sizes []int
+	b.SetObserver(func(size int, wait time.Duration) {
+		mu.Lock()
+		sizes = append(sizes, size)
+		mu.Unlock()
+		if wait < 0 {
+			t.Errorf("negative wait %v", wait)
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Do(i)
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 4 {
+		t.Errorf("observer saw %d items across %v, want 4", total, sizes)
+	}
+}
+
+// TestHammer drives many producers through small batches under -race.
+func TestHammer(t *testing.T) {
+	var calls atomic.Int64
+	b := New(100*time.Microsecond, 8, doubler(&calls))
+	var wg sync.WaitGroup
+	const producers = 32
+	const perProducer = 50
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				got, err := b.Do(v)
+				if err != nil || got != 2*v {
+					t.Errorf("Do(%d) = %d, %v", v, got, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Items != producers*perProducer {
+		t.Errorf("items = %d, want %d", st.Items, producers*perProducer)
+	}
+}
+
+func ExampleBatcher() {
+	b := New(time.Millisecond, 4, func(reqs []string) ([]string, error) {
+		out := make([]string, len(reqs))
+		for i, r := range reqs {
+			out[i] = "embedded:" + r
+		}
+		return out, nil
+	})
+	v, _ := b.Do("riscv32i")
+	fmt.Println(v)
+	// Output: embedded:riscv32i
+}

@@ -1,0 +1,99 @@
+package gnn
+
+import "repro/internal/tensor"
+
+// Batched inference: a batch of graphs is fused into one disjoint-union
+// graph — features stacked, adjacency offset, modules offset — and pushed
+// through a single forward pass, so N concurrent embedding requests share
+// one set of stacked tensor.MatMul invocations instead of issuing N small
+// ones. Every kernel on the path (aggregate, MatMul, AddRowVector, ReLU,
+// module pooling) computes each output row from its own input rows with the
+// serial loop order, so the batched module and global embeddings are
+// byte-identical to running Embed/EmbedGlobal per graph.
+
+// mergeGraphs builds the disjoint union of the graphs: node blocks are
+// concatenated in order with adjacency and module indexes offset. Returns
+// the merged graph and each graph's module count for splitting results.
+func mergeGraphs(gs []*Graph) (*Graph, []int) {
+	nodes, modules := 0, 0
+	modCounts := make([]int, len(gs))
+	for i, g := range gs {
+		nodes += g.Feats.Rows
+		modCounts[i] = g.NumModule
+		modules += g.NumModule
+	}
+	feats := make([]*tensor.Matrix, len(gs))
+	for i, g := range gs {
+		feats[i] = g.Feats
+	}
+	merged := &Graph{
+		Feats:     tensor.StackRows(feats),
+		Adj:       make([][]int, 0, nodes),
+		ModuleOf:  make([]int, 0, nodes),
+		NumModule: modules,
+	}
+	nodeOff, modOff := 0, 0
+	for _, g := range gs {
+		for _, nbrs := range g.Adj {
+			row := make([]int, len(nbrs))
+			for j, u := range nbrs {
+				row[j] = u + nodeOff
+			}
+			merged.Adj = append(merged.Adj, row)
+		}
+		for _, m := range g.ModuleOf {
+			merged.ModuleOf = append(merged.ModuleOf, m+modOff)
+		}
+		nodeOff += g.Feats.Rows
+		modOff += g.NumModule
+	}
+	return merged, modCounts
+}
+
+// forwardModulesBatch runs one stacked forward pass and returns per-graph
+// views of the module-embedding matrix.
+func (m *Model) forwardModulesBatch(gs []*Graph) []*tensor.Matrix {
+	merged, modCounts := mergeGraphs(gs)
+	st := m.forward(merged)
+	return tensor.SplitRows(st.modules, modCounts)
+}
+
+// EmbedBatch returns each graph's module embeddings (one matrix per graph)
+// from a single stacked forward pass — byte-identical to calling Embed on
+// each graph.
+func (m *Model) EmbedBatch(gs []*Graph) []*tensor.Matrix {
+	if len(gs) == 0 {
+		return nil
+	}
+	if len(gs) == 1 {
+		return []*tensor.Matrix{m.Embed(gs[0])}
+	}
+	views := m.forwardModulesBatch(gs)
+	out := make([]*tensor.Matrix, len(views))
+	for i, v := range views {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// EmbedGlobalBatch returns each graph's design-level embedding from a
+// single stacked forward pass — byte-identical to calling EmbedGlobal on
+// each graph.
+func (m *Model) EmbedGlobalBatch(gs []*Graph) [][]float64 {
+	if len(gs) == 0 {
+		return nil
+	}
+	if len(gs) == 1 {
+		return [][]float64{m.EmbedGlobal(gs[0])}
+	}
+	views := m.forwardModulesBatch(gs)
+	out := make([][]float64, len(views))
+	for i, mods := range views {
+		rows := make([][]float64, mods.Rows)
+		for r := range rows {
+			rows[r] = mods.Row(r)
+		}
+		out[i] = tensor.Mean(rows)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/synthrag"
+)
+
+// TestBatchedCustomizeByteIdentical is the continuous-batching correctness
+// hammer: many concurrent /v1/customize requests driven through a server
+// whose embedding path runs behind the admission queue must produce, byte
+// for byte, the responses a batching-disabled server produces for the same
+// requests. Run under -race (make check does) this also shakes out data
+// races in the batcher handoff. Two separate databases are built from the
+// same seed because EnableBatching mutates the database in place — the
+// builds are bit-identical, so any response difference is the batcher's.
+func TestBatchedCustomizeByteIdentical(t *testing.T) {
+	build := func() *synthrag.Database {
+		db, err := synthrag.Build(synthrag.BuildConfig{Seed: 2, SkipSynth: true, Lib: testLib})
+		if err != nil {
+			t.Fatalf("build database: %v", err)
+		}
+		return db
+	}
+	newSrv := func(cfg Config) *Server {
+		cfg.Model = llm.New(llm.GPT4o, 2)
+		cfg.Lib = testLib
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	// A wide window and generous pool force real coalescing: requests for
+	// distinct designs miss the embed cache together and meet in one flush.
+	batched := newSrv(Config{
+		DB: build(), Workers: 8, QueueDepth: 64,
+		BatchWindow: 20 * time.Millisecond, BatchMax: 8,
+	})
+	serial := newSrv(Config{
+		DB: build(), Workers: 8, QueueDepth: 64,
+		DisableBatching: true,
+	})
+	tsBatched := httptest.NewServer(batched.Handler())
+	defer tsBatched.Close()
+	tsSerial := httptest.NewServer(serial.Handler())
+	defer tsSerial.Close()
+
+	// Distinct designs and requirements defeat both the embed LRU (per
+	// design) and singleflight (per full request), so the batcher sees real
+	// concurrent traffic on the GNN and text embedding paths.
+	designNames := []string{"aes", "dynamic_node", "ethmac", "jpeg", "riscv32i", "swerv"}
+	reqs := make([]string, 0, len(designNames)*3)
+	for i, d := range designNames {
+		for r := 0; r < 3; r++ {
+			reqs = append(reqs, fmt.Sprintf(`{"design":%q,"requirement":"optimize variant %d for timing","k":1}`, d, i*3+r))
+		}
+	}
+
+	hammer := func(url string) []string {
+		out := make([]string, len(reqs))
+		var wg sync.WaitGroup
+		for i, body := range reqs {
+			wg.Add(1)
+			go func(i int, body string) {
+				defer wg.Done()
+				resp, b := postCustomize(t, url, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("req %d: status %d: %s", i, resp.StatusCode, b)
+					return
+				}
+				out[i] = string(b)
+			}(i, body)
+		}
+		wg.Wait()
+		return out
+	}
+
+	got := hammer(tsBatched.URL)
+	want := hammer(tsSerial.URL)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range reqs {
+		if got[i] != want[i] {
+			t.Errorf("request %d (%s): batched response differs from serial\nbatched: %s\nserial:  %s",
+				i, reqs[i], got[i], want[i])
+		}
+	}
+
+	st := batched.cfg.DB.BatchStats()
+	if st.Items == 0 {
+		t.Fatal("batched server processed no items through the admission queue")
+	}
+	if st.Flushes >= st.Items {
+		t.Errorf("no coalescing happened: %d flushes for %d items", st.Flushes, st.Items)
+	}
+	t.Logf("batcher: %d items across %d flushes (avg batch %.1f)",
+		st.Items, st.Flushes, float64(st.Items)/float64(st.Flushes))
+	if sst := serial.cfg.DB.BatchStats(); sst.Items != 0 {
+		t.Errorf("serial server unexpectedly batched %d items", sst.Items)
+	}
+}
+
+// TestHealthzEchoesBatchConfig: the effective batching and HNSW settings
+// must be visible on /healthz, including non-default overrides.
+func TestHealthzEchoesBatchConfig(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		BatchWindow: 5 * time.Millisecond, BatchMax: 4, HNSWEf: 128,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if !hz.BatchEnabled || hz.BatchWindowNS != (5*time.Millisecond).Nanoseconds() || hz.BatchMax != 4 {
+		t.Errorf("healthz batch echo = enabled=%v window=%dns max=%d, want enabled 5ms/4",
+			hz.BatchEnabled, hz.BatchWindowNS, hz.BatchMax)
+	}
+	if hz.HNSWEf != 128 {
+		t.Errorf("healthz hnsw_ef = %d, want 128", hz.HNSWEf)
+	}
+	// The shipped corpora are below the HNSW threshold: every index must
+	// report the exact flat backend.
+	for name, backend := range hz.IndexBackends {
+		if backend != "flat" {
+			t.Errorf("index %s backend = %q, want flat", name, backend)
+		}
+	}
+}

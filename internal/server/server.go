@@ -28,6 +28,7 @@ import (
 	"time"
 
 	chatls "repro"
+	"repro/internal/batch"
 	"repro/internal/designs"
 	"repro/internal/inputlimits"
 	"repro/internal/liberty"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/synthrag"
+	"repro/internal/vecindex"
 	"repro/internal/workpool"
 )
 
@@ -59,6 +61,21 @@ type Config struct {
 	TaskCacheSize     int // baseline-task LRU entries (default 16)
 	EmbedCacheSize    int // design-embedding LRU entries (default 64)
 	RetrieveCacheSize int // strategy-retrieval LRU entries (default 256)
+
+	// BatchWindow and BatchMax tune the continuous-batching admission queue
+	// over the database's embedding models: concurrent cache-missing embed
+	// requests arriving within BatchWindow coalesce into one stacked forward
+	// pass, flushing early once BatchMax requests are queued. Defaults are
+	// batch.DefaultWindow / batch.DefaultMaxBatch; DisableBatching turns the
+	// queue off entirely (requests embed serially, as before).
+	BatchWindow     time.Duration
+	BatchMax        int
+	DisableBatching bool
+
+	// HNSWEf, when > 0, widens the HNSW search beam on every database index
+	// that has migrated to graph search (no-op while indexes are still exact
+	// Flat scans below the corpus-size threshold).
+	HNSWEf int
 
 	// CheckpointCap bounds the process-wide elaboration-checkpoint store:
 	// every synthesis run the daemon executes (baselines and Pass@k samples
@@ -182,7 +199,20 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxRequirementLen = 8 << 10
 	}
 
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = batch.DefaultWindow
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = batch.DefaultMaxBatch
+	}
+
 	cfg.DB.EnableCache(cfg.EmbedCacheSize, cfg.RetrieveCacheSize)
+	if !cfg.DisableBatching {
+		cfg.DB.EnableBatching(cfg.BatchWindow, cfg.BatchMax)
+	}
+	if cfg.HNSWEf > 0 {
+		cfg.DB.SetHNSWEf(cfg.HNSWEf)
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -309,6 +339,25 @@ func New(cfg Config) (*Server, error) {
 	staDirty := s.reg.NewHistogram("sta_dirty_nodes", "nets and cells recomputed per incremental timing update",
 		[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384})
 	sta.SetDirtyNodesObserver(func(n int) { staDirty.Observe(float64(n)) })
+
+	// HNSW counters are process-wide atomics in vecindex (same pattern as
+	// the sta counters above); zero until an index crosses the corpus-size
+	// threshold and migrates to graph search.
+	s.reg.NewCounterFunc("vecindex_hnsw_nodes_total", "vectors inserted into HNSW graph indexes",
+		vecindex.HNSWNodes)
+	s.reg.NewCounterFunc("vecindex_hnsw_hops_total", "graph-edge traversals performed by HNSW searches and inserts",
+		vecindex.HNSWHops)
+
+	if !cfg.DisableBatching {
+		batchSize := s.reg.NewHistogram("chatlsd_batch_size", "embedding requests coalesced per batcher flush",
+			[]float64{1, 2, 4, 8, 16, 32, 64})
+		batchWait := s.reg.NewHistogram("chatlsd_batch_wait_ns", "oldest request's queue wait per batcher flush, nanoseconds",
+			[]float64{1e3, 1e4, 1e5, 5e5, 1e6, 2e6, 5e6, 1e7})
+		cfg.DB.SetBatchObserver(func(size int, wait time.Duration) {
+			batchSize.Observe(float64(size))
+			batchWait.Observe(float64(wait.Nanoseconds()))
+		})
+	}
 
 	return s, nil
 }
@@ -650,6 +699,11 @@ type healthzResponse struct {
 	MaxBodyBytes      int64                 `json:"max_body_bytes"`
 	MaxRequirementLen int                   `json:"max_requirement_len"`
 	MaxK              int                   `json:"max_k"`
+	BatchEnabled      bool                  `json:"batch_enabled"`
+	BatchWindowNS     int64                 `json:"batch_window_ns"`
+	BatchMax          int                   `json:"batch_max"`
+	HNSWEf            int                   `json:"hnsw_ef,omitempty"`
+	IndexBackends     map[string]string     `json:"index_backends"`
 	ParserBudgets     map[string]budgetJSON `json:"parser_budgets"`
 }
 
@@ -664,6 +718,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		MaxBodyBytes:      s.cfg.MaxBodyBytes,
 		MaxRequirementLen: s.cfg.MaxRequirementLen,
 		MaxK:              s.cfg.MaxK,
+		BatchEnabled:      !s.cfg.DisableBatching,
+		BatchWindowNS:     s.cfg.BatchWindow.Nanoseconds(),
+		BatchMax:          s.cfg.BatchMax,
+		HNSWEf:            s.cfg.HNSWEf,
+		IndexBackends:     s.cfg.DB.IndexBackends(),
 		ParserBudgets: map[string]budgetJSON{
 			inputlimits.SurfaceVerilog: toBudgetJSON(limits.Verilog),
 			inputlimits.SurfaceLiberty: toBudgetJSON(limits.Liberty),

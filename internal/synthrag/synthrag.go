@@ -79,13 +79,14 @@ type Database struct {
 	Embedder *textembed.Embedder
 
 	Strategies  map[string]*StrategyRecord // design name -> record
-	globalIndex *vecindex.Flat             // design embeddings
-	moduleIndex *vecindex.Flat             // module embeddings
+	globalIndex *vecindex.Auto             // design embeddings
+	moduleIndex *vecindex.Auto             // module embeddings
 	modules     map[string]ModuleRecord    // "design/module" -> record
-	manualIndex *vecindex.Flat             // manual section embeddings
+	manualIndex *vecindex.Auto             // manual section embeddings
 	manualByID  map[string]int             // vec id -> doc index
 	lib         *liberty.Library
-	cache       *dbCache // optional serving-path memoization (EnableCache)
+	cache       *dbCache  // optional serving-path memoization (EnableCache)
+	batch       *batchers // optional embedding admission queue (EnableBatching)
 }
 
 // BuildConfig controls database construction.
@@ -104,6 +105,12 @@ type BuildConfig struct {
 	// for any worker count: per-design work is independent and results are
 	// assembled in corpus order.
 	Workers int
+	// IndexThreshold is the corpus size at which the vector indexes switch
+	// from exact Flat scans to sublinear HNSW search (0 selects
+	// vecindex.DefaultAutoThreshold). The corpora shipped in this repo stay
+	// below the default, so tests keep exact retrieval; a production corpus
+	// 100-1000x larger crosses it and retrieval stays sublinear.
+	IndexThreshold int
 }
 
 // Build constructs the database: trains CircuitMentor with metric learning
@@ -209,8 +216,9 @@ func Build(cfg BuildConfig) (*Database, error) {
 	})
 
 	dim := db.Mentor.Model.Config().OutDim
-	db.globalIndex = vecindex.NewFlat(dim, vecindex.Cosine)
-	db.moduleIndex = vecindex.NewFlat(dim, vecindex.Cosine)
+	hcfg := vecindex.HNSWConfig{Seed: cfg.Seed}
+	db.globalIndex = vecindex.NewAuto(dim, vecindex.Cosine, cfg.IndexThreshold, hcfg)
+	db.moduleIndex = vecindex.NewAuto(dim, vecindex.Cosine, cfg.IndexThreshold, hcfg)
 	for ei, e := range entries {
 		r := results[ei]
 		circuitmentor.LoadIntoDB(db.Graph, e.dg, map[string]any{
@@ -265,7 +273,7 @@ func Build(cfg BuildConfig) (*Database, error) {
 	// Manual index.
 	texts := db.Manual.Texts()
 	db.Embedder.Fit(texts)
-	db.manualIndex = vecindex.NewFlat(db.Embedder.Dim, vecindex.Cosine)
+	db.manualIndex = vecindex.NewAuto(db.Embedder.Dim, vecindex.Cosine, cfg.IndexThreshold, hcfg)
 	for i, d := range db.Manual.Docs {
 		if err := db.manualIndex.Add(d.ID, db.Embedder.Embed(texts[i])); err != nil {
 			return nil, err
@@ -493,7 +501,11 @@ func (db *Database) SearchManualContext(ctx context.Context, query string, k int
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	raw := db.manualIndex.Search(db.Embedder.Embed(query), max(k*3, k))
+	qvec, err := db.embedText(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	raw := db.manualIndex.Search(qvec, max(k*3, k))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -556,7 +568,10 @@ func (db *Database) EmbedDesignContext(ctx context.Context, src, top string) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	emb := db.Mentor.EmbedGlobal(dg)
+	emb, err := db.embedGlobal(ctx, dg)
+	if err != nil {
+		return nil, nil, err
+	}
 	if db.cache != nil {
 		db.storeEmbed(key, emb, dg)
 	}

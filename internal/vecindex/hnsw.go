@@ -1,0 +1,348 @@
+package vecindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// HNSW is a hierarchical navigable small-world graph index: search cost
+// grows roughly logarithmically with the corpus instead of linearly like
+// Flat, which is what keeps retrieval latency flat when the strategy corpus
+// grows 100-1000x. Construction is deterministic: level assignment draws
+// from a seeded generator in insertion order, and all neighbour selection
+// breaks distance ties by insertion index, so two builds over the same
+// stream are identical.
+//
+// Concurrency: Add mutates the graph and must not race with Search; once
+// building is done (synthrag assembles indexes serially during Build), any
+// number of concurrent Searches is safe — they only read the graph and
+// touch process-wide atomic counters.
+type HNSW struct {
+	Metric Metric
+	cfg    HNSWConfig
+	dim    int
+	ml     float64 // level-assignment multiplier 1/ln(M)
+	rng    *rand.Rand
+
+	nodes    []hnswNode
+	entry    int32
+	maxLevel int
+
+	efSearch atomic.Int32 // mutable via SetEfSearch before serving
+}
+
+// HNSWConfig tunes the graph. Zero values select the defaults.
+type HNSWConfig struct {
+	M              int   // neighbours kept per node per layer (layer 0 keeps 2M); default 16
+	EfConstruction int   // beam width while inserting; default 100
+	EfSearch       int   // beam width while searching (recall/latency knob); default 64
+	Seed           int64 // level-assignment seed
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 1 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 100
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return c
+}
+
+type hnswNode struct {
+	id    string
+	vec   []float64 // original vector; reported scores use it
+	key   []float64 // normalized under cosine (aliases vec under L2)
+	links [][]int32 // neighbour lists, one per layer 0..level
+}
+
+// Process-wide HNSW counters (plain atomics so the package stays metric-
+// free; the daemon exposes them as vecindex_hnsw_{nodes,hops}_total).
+var (
+	hnswNodesTotal atomic.Int64
+	hnswHopsTotal  atomic.Int64
+)
+
+// HNSWNodes returns the total vectors inserted into HNSW indexes
+// process-wide.
+func HNSWNodes() int64 { return hnswNodesTotal.Load() }
+
+// HNSWHops returns the total graph-edge traversals HNSW searches and
+// inserts have performed process-wide — the work a Flat scan would have
+// spent visiting every vector.
+func HNSWHops() int64 { return hnswHopsTotal.Load() }
+
+// NewHNSW creates an empty index for dim-dimensional vectors.
+func NewHNSW(dim int, metric Metric, cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	h := &HNSW{
+		Metric: metric,
+		cfg:    cfg,
+		dim:    dim,
+		ml:     1 / math.Log(float64(cfg.M)),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		entry:  -1,
+	}
+	h.efSearch.Store(int32(cfg.EfSearch))
+	return h
+}
+
+// SetEfSearch adjusts the search beam width (higher = better recall,
+// slower). Call before the index is shared across searching goroutines.
+func (h *HNSW) SetEfSearch(ef int) {
+	if ef > 0 {
+		h.efSearch.Store(int32(ef))
+	}
+}
+
+// Len returns the number of stored vectors.
+func (h *HNSW) Len() int { return len(h.nodes) }
+
+// randomLevel draws the node's top layer: an exponential decay with rate
+// 1/ln(M), capped so an adversarial draw cannot build a degenerate tower.
+func (h *HNSW) randomLevel() int {
+	u := 1 - h.rng.Float64() // (0, 1]: Log(0) is -Inf
+	lvl := int(-math.Log(u) * h.ml)
+	if lvl > 30 {
+		lvl = 30
+	}
+	return lvl
+}
+
+// dist is the internal ranking distance (lower is better): 1-dot on
+// normalized keys under cosine, squared Euclidean under L2. Both are
+// monotone in the reported score, so ranking by them matches ranking by
+// score while skipping per-comparison square roots and normalizations.
+func (h *HNSW) dist(qkey []float64, n int32) float64 {
+	key := h.nodes[n].key
+	if h.Metric == Cosine {
+		return 1 - tensor.Dot(qkey, key)
+	}
+	var s float64
+	for i := range qkey {
+		d := qkey[i] - key[i]
+		s += d * d
+	}
+	return s
+}
+
+// Add inserts a vector; the index orders identically for any GOMAXPROCS
+// because insertion is strictly sequential per index.
+func (h *HNSW) Add(id string, vec []float64) error {
+	if len(vec) != h.dim {
+		return fmt.Errorf("vector %q has dim %d, index wants %d", id, len(vec), h.dim)
+	}
+	v := append([]float64(nil), vec...)
+	key := v
+	if h.Metric == Cosine {
+		key = tensor.Normalize(v)
+	}
+	level := h.randomLevel()
+	idx := int32(len(h.nodes))
+	h.nodes = append(h.nodes, hnswNode{id: id, vec: v, key: key, links: make([][]int32, level+1)})
+	hnswNodesTotal.Add(1)
+	if idx == 0 {
+		h.entry = 0
+		h.maxLevel = level
+		return nil
+	}
+
+	hops := 0
+	ep := h.entry
+	for lc := h.maxLevel; lc > level; lc-- {
+		ep = h.greedyStep(key, ep, lc, &hops)
+	}
+	top := level
+	if top > h.maxLevel {
+		top = h.maxLevel
+	}
+	for lc := top; lc >= 0; lc-- {
+		cands := h.searchLayer(key, ep, h.cfg.EfConstruction, lc, &hops)
+		mmax := h.cfg.M
+		if lc == 0 {
+			mmax = 2 * h.cfg.M
+		}
+		nbrs := cands
+		if len(nbrs) > h.cfg.M {
+			nbrs = nbrs[:h.cfg.M]
+		}
+		links := make([]int32, len(nbrs))
+		for i, c := range nbrs {
+			links[i] = c.n
+		}
+		h.nodes[idx].links[lc] = links
+		for _, u := range links {
+			h.linkBack(u, idx, lc, mmax)
+		}
+		if len(cands) > 0 {
+			ep = cands[0].n
+		}
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = idx
+	}
+	hnswHopsTotal.Add(int64(hops))
+	return nil
+}
+
+// linkBack adds v to u's layer-lc neighbour list, keeping only the mmax
+// closest (ties by insertion index) when the list overflows.
+func (h *HNSW) linkBack(u, v int32, lc, mmax int) {
+	links := append(h.nodes[u].links[lc], v)
+	if len(links) > mmax {
+		ukey := h.nodes[u].key
+		ds := make([]distNode, len(links))
+		for i, w := range links {
+			ds[i] = distNode{d: h.dist(ukey, w), n: w}
+		}
+		sortDistNodes(ds)
+		links = links[:mmax]
+		for i := range links {
+			links[i] = ds[i].n
+		}
+	}
+	h.nodes[u].links[lc] = links
+}
+
+// greedyStep descends one layer: repeatedly move to the closest neighbour
+// until no neighbour improves, returning the local minimum.
+func (h *HNSW) greedyStep(qkey []float64, ep int32, lc int, hops *int) int32 {
+	best := ep
+	bestD := h.dist(qkey, ep)
+	for {
+		improved := false
+		for _, u := range h.nodes[best].links[lc] {
+			*hops++
+			if d := h.dist(qkey, u); d < bestD || (d == bestD && u < best) {
+				best, bestD = u, d
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+type distNode struct {
+	d float64
+	n int32
+}
+
+// less orders by distance, then insertion index — the deterministic
+// tie-break used everywhere in this file.
+func (a distNode) less(b distNode) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.n < b.n
+}
+
+func sortDistNodes(ds []distNode) {
+	// Insertion sort: lists here are tiny (<= 2M+1 or ef) and mostly sorted.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].less(ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// candHeap is a min-heap of frontier nodes (closest first).
+type candHeap []distNode
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(distNode)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// resultHeap is a max-heap of the ef best so far (worst first, for cheap
+// eviction).
+type resultHeap []distNode
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[j].less(h[i]) }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(distNode)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// searchLayer runs the beam search of the HNSW paper on one layer,
+// returning the ef closest reachable nodes sorted ascending by (distance,
+// index).
+func (h *HNSW) searchLayer(qkey []float64, ep int32, ef, lc int, hops *int) []distNode {
+	visited := make([]bool, len(h.nodes))
+	visited[ep] = true
+	d0 := distNode{d: h.dist(qkey, ep), n: ep}
+	cand := candHeap{d0}
+	res := resultHeap{d0}
+	for len(cand) > 0 {
+		c := heap.Pop(&cand).(distNode)
+		if len(res) >= ef && res[0].d < c.d {
+			break // the frontier is farther than the worst kept result
+		}
+		for _, u := range h.nodes[c.n].links[lc] {
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			*hops++
+			d := h.dist(qkey, u)
+			if len(res) < ef || d < res[0].d || (d == res[0].d && u < res[0].n) {
+				heap.Push(&cand, distNode{d: d, n: u})
+				heap.Push(&res, distNode{d: d, n: u})
+				if len(res) > ef {
+					heap.Pop(&res)
+				}
+			}
+		}
+	}
+	out := []distNode(res)
+	sortDistNodes(out)
+	return out
+}
+
+// Search returns the approximate top-k hits sorted by descending score
+// (ties by ID). k <= 0, an empty index, or a query of the wrong dimension
+// returns nil; k > Len returns at most every reachable vector. Reported
+// scores are computed against the original stored vectors with the same
+// metric expression Flat uses, so a hit both indexes return carries the
+// same score.
+func (h *HNSW) Search(query []float64, k int) []Hit {
+	if k <= 0 || len(h.nodes) == 0 || len(query) != h.dim {
+		return nil
+	}
+	qkey := query
+	if h.Metric == Cosine {
+		qkey = tensor.Normalize(query)
+	}
+	hops := 0
+	ep := h.entry
+	for lc := h.maxLevel; lc > 0; lc-- {
+		ep = h.greedyStep(qkey, ep, lc, &hops)
+	}
+	ef := int(h.efSearch.Load())
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(qkey, ep, ef, 0, &hops)
+	hnswHopsTotal.Add(int64(hops))
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	hits := make([]Hit, len(cands))
+	for i, c := range cands {
+		n := h.nodes[c.n]
+		hits[i] = Hit{ID: n.id, Score: score(h.Metric, query, n.vec)}
+	}
+	sortHits(hits)
+	return hits
+}

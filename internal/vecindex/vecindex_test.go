@@ -10,10 +10,10 @@ import (
 func TestFlatExactSearch(t *testing.T) {
 	ix := NewFlat(3, Cosine)
 	vecs := map[string][]float64{
-		"x": {1, 0, 0},
-		"y": {0, 1, 0},
+		"x":  {1, 0, 0},
+		"y":  {0, 1, 0},
 		"xy": {1, 1, 0},
-		"z": {0, 0, 1},
+		"z":  {0, 0, 1},
 	}
 	for id, v := range vecs {
 		if err := ix.Add(id, v); err != nil {
