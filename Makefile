@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare batch-race fuzz-smoke crash-recovery remote-cache-e2e check
+.PHONY: build test short race vet ci serve bench bench-compare batch-race fuzz-smoke crash-recovery remote-cache-e2e chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,17 @@ remote-cache-e2e:
 	$(GO) test ./internal/remotecache -race
 	$(GO) test . -race -run 'TestTwoReplicasDedupAndMatchSingleReplica|TestReplicaDegradesWhenTierDiesMidRun'
 
+# Chaos soak (~30s seeded profile): a real server + remote tier under
+# burst load, tier kills/restarts, sticky stage outages, disk faults, and
+# latency spikes, checking the overload-protection invariants (no
+# deadlocks, allowed statuses only, byte-identical non-degraded replies,
+# breakers re-close, limiter re-expands, no lost leases). The failure
+# message echoes CHAOS_SEED; rerun with the printed seed to reproduce.
+CHAOS_SEED ?= 20250808
+chaos-soak:
+	$(GO) run ./cmd/chaos -seed $(CHAOS_SEED)
+
 # Everything CI runs plus the fuzz smoke pass, the crash-recovery gate,
-# the distributed-result-tier gate, and the continuous-batching gate.
-check: build vet race batch-race fuzz-smoke crash-recovery remote-cache-e2e
+# the distributed-result-tier gate, the continuous-batching gate, and the
+# chaos soak.
+check: build vet race batch-race fuzz-smoke crash-recovery remote-cache-e2e chaos-soak

@@ -26,13 +26,16 @@ package chatls
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/circuitmentor"
 	"repro/internal/designs"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/synthexpert"
@@ -177,6 +180,18 @@ type ChatLSPipeline struct {
 	// Inject, when set, is the fault-injection layer consulted before every
 	// component call (tests only).
 	Inject *resilience.Injector
+	// Breakers, when set, maps component names to shared circuit breakers
+	// consulted before each guarded stage: an open breaker skips the stage
+	// immediately (degrading, like a failed stage) instead of burning
+	// retries on a component that has been failing. The server installs one
+	// per auxiliary stage; absent entries (and a nil map) mean no breaker.
+	Breakers map[string]*resilience.Breaker
+	// Costs, when set, is the shared per-stage EWMA cost model: successful
+	// stage durations feed it, and optional stages are skipped up front
+	// when the remaining context deadline cannot cover their expected cost
+	// plus the mandatory generation that follows (recorded as a
+	// degradation). Nil disables budget awareness.
+	Costs *overload.CostModel
 	// LastReport records which components degraded during the most recent
 	// Customize call; nil before the first call.
 	//
@@ -214,13 +229,45 @@ func (p *ChatLSPipeline) Name() string {
 }
 
 // guard executes one component call under the pipeline's retry policy,
-// panic-recovery boundary, and (in tests) fault injector.
+// panic-recovery boundary, (in tests) fault injector, and the component's
+// circuit breaker when one is installed: an open breaker rejects without
+// attempting the call, successes/failures feed the breaker, and a pure
+// caller-side cancellation is a no-verdict (the component's health was
+// never tested).
 func (p *ChatLSPipeline) guard(ctx context.Context, component string, fn func(context.Context) error) error {
-	return resilience.Execute(ctx, resilience.Op{
+	br := p.Breakers[component]
+	if !br.Allow() {
+		return resilience.BreakerError(component)
+	}
+	start := time.Now()
+	err := resilience.Execute(ctx, resilience.Op{
 		Component: component,
 		Policy:    p.Retry,
 		Injector:  p.Inject,
 	}, fn)
+	switch {
+	case err == nil:
+		br.Success()
+		p.Costs.Observe(component, time.Since(start))
+	case errors.Is(err, resilience.ErrCancelled):
+		br.Drop()
+	default:
+		// Timeouts count against the breaker: a stage that blows the
+		// deadline is as sick as one that errors.
+		br.Failure()
+	}
+	return err
+}
+
+// overBudget rejects a stage group when the remaining deadline cannot
+// cover its expected cost plus the mandatory generation still ahead.
+// Unknown costs (cold model, nil model) admit.
+func (p *ChatLSPipeline) overBudget(ctx context.Context, lead string, components ...string) error {
+	need := p.Costs.Expect(resilience.CompGenerate)
+	for _, c := range components {
+		need += p.Costs.Expect(c)
+	}
+	return overload.CheckBudget(ctx, lead, need)
 }
 
 // Degradation reports which components degraded during the most recent
@@ -278,51 +325,59 @@ func (p *ChatLSPipeline) CustomizeResult(ctx context.Context, t *Task, sample in
 
 	var traits []string
 	if !p.DisableMentor {
-		var analysis *circuitmentor.Analysis
-		err := p.guard(ctx, resilience.CompMentor, func(ctx context.Context) error {
-			var err error
-			analysis, err = circuitmentor.AnalyzeContext(ctx, t.Design.Source, t.Design.Top, t.Design.Period, t.Lib)
-			return err
-		})
-		switch {
-		case err == nil:
-			traits = analysis.Traits
-			b.WriteString("\n## Design characteristics\n")
-			b.WriteString(analysis.Render())
-		case resilience.IsFatal(err):
-			return out, err
-		default:
-			report.Record(resilience.CompMentor, "proceed without design characteristics", err)
-		}
-	}
-
-	if !p.DisableRAG {
-		var emb []float64
-		err := p.guard(ctx, resilience.CompRAGEmbed, func(ctx context.Context) error {
-			var err error
-			emb, _, err = p.DB.EmbedDesignContext(ctx, t.Design.Source, t.Design.Top)
-			return err
-		})
-		if err == nil {
-			var hits []synthrag.StrategyHit
-			err = p.guard(ctx, resilience.CompRAGRetrieve, func(ctx context.Context) error {
+		if berr := p.overBudget(ctx, resilience.CompMentor, resilience.CompMentor); berr != nil {
+			report.Record(resilience.CompMentor, "skipped: insufficient deadline budget", berr)
+		} else {
+			var analysis *circuitmentor.Analysis
+			err := p.guard(ctx, resilience.CompMentor, func(ctx context.Context) error {
 				var err error
-				hits, err = p.DB.RetrieveStrategiesForContext(ctx, emb, traits, 2, p.Alpha, p.Beta, 0.25)
+				analysis, err = circuitmentor.AnalyzeContext(ctx, t.Design.Source, t.Design.Top, t.Design.Period, t.Lib)
 				return err
 			})
 			switch {
 			case err == nil:
-				b.WriteString("\n## Retrieved strategies\n")
-				b.WriteString(synthrag.RenderStrategies(hits))
+				traits = analysis.Traits
+				b.WriteString("\n## Design characteristics\n")
+				b.WriteString(analysis.Render())
 			case resilience.IsFatal(err):
 				return out, err
 			default:
-				report.Record(resilience.CompRAGRetrieve, "proceed without retrieved strategies", err)
+				report.Record(resilience.CompMentor, "proceed without design characteristics", err)
 			}
-		} else if resilience.IsFatal(err) {
-			return out, err
+		}
+	}
+
+	if !p.DisableRAG {
+		if berr := p.overBudget(ctx, resilience.CompRAGEmbed, resilience.CompRAGEmbed, resilience.CompRAGRetrieve); berr != nil {
+			report.Record(resilience.CompRAGEmbed, "skipped: insufficient deadline budget", berr)
 		} else {
-			report.Record(resilience.CompRAGEmbed, "proceed without retrieved strategies", err)
+			var emb []float64
+			err := p.guard(ctx, resilience.CompRAGEmbed, func(ctx context.Context) error {
+				var err error
+				emb, _, err = p.DB.EmbedDesignContext(ctx, t.Design.Source, t.Design.Top)
+				return err
+			})
+			if err == nil {
+				var hits []synthrag.StrategyHit
+				err = p.guard(ctx, resilience.CompRAGRetrieve, func(ctx context.Context) error {
+					var err error
+					hits, err = p.DB.RetrieveStrategiesForContext(ctx, emb, traits, 2, p.Alpha, p.Beta, 0.25)
+					return err
+				})
+				switch {
+				case err == nil:
+					b.WriteString("\n## Retrieved strategies\n")
+					b.WriteString(synthrag.RenderStrategies(hits))
+				case resilience.IsFatal(err):
+					return out, err
+				default:
+					report.Record(resilience.CompRAGRetrieve, "proceed without retrieved strategies", err)
+				}
+			} else if resilience.IsFatal(err) {
+				return out, err
+			} else {
+				report.Record(resilience.CompRAGEmbed, "proceed without retrieved strategies", err)
+			}
 		}
 	}
 
@@ -331,6 +386,11 @@ func (p *ChatLSPipeline) CustomizeResult(ctx context.Context, t *Task, sample in
 	b.WriteString("\n## Synthesis report\n")
 	b.WriteString(t.BaselineReport)
 
+	// Generation has no weaker fallback, so a budget that cannot cover it
+	// aborts the sample before any generator work happens.
+	if berr := overload.CheckBudget(ctx, resilience.CompGenerate, p.Costs.Expect(resilience.CompGenerate)); berr != nil {
+		return out, berr
+	}
 	var draft string
 	err := p.guard(ctx, resilience.CompGenerate, func(ctx context.Context) error {
 		var err error
@@ -350,11 +410,17 @@ func (p *ChatLSPipeline) CustomizeResult(ctx context.Context, t *Task, sample in
 
 	var refined string
 	var steps []synthexpert.Step
-	err = p.guard(ctx, resilience.CompExpert, func(ctx context.Context) error {
-		var err error
-		refined, steps, err = p.Expert.RefineContext(ctx, draft, t.Baseline)
-		return err
-	})
+	err = overload.CheckBudget(ctx, resilience.CompExpert, p.Costs.Expect(resilience.CompExpert))
+	if err != nil {
+		// Refinement is optional: fall through to the same draft/baseline
+		// fallback a failed expert takes.
+	} else {
+		err = p.guard(ctx, resilience.CompExpert, func(ctx context.Context) error {
+			var err error
+			refined, steps, err = p.Expert.RefineContext(ctx, draft, t.Baseline)
+			return err
+		})
+	}
 	switch {
 	case err == nil:
 		out.Script = refined

@@ -41,6 +41,12 @@ func main() {
 	workers := flag.Int("workers", 2, "worker-pool size")
 	queue := flag.Int("queue", 8, "admission-control queue depth")
 	reqTimeout := flag.Duration("req-timeout", 60*time.Second, "per-request deadline")
+	inflightFloor := flag.Int("max-inflight-floor", 0, "adaptive concurrency limit floor (0 = default 1)")
+	inflightCeiling := flag.Int("max-inflight-ceiling", 0, "adaptive concurrency limit ceiling (0 = workers+queue)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that trip a stage circuit breaker (0 = default 5)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 0, "circuit-breaker open dwell before half-open probes (0 = default 5s)")
+	breakerProbes := flag.Int("breaker-probes", 0, "concurrent half-open probe budget per breaker (0 = default 1)")
+	brownout := flag.Bool("brownout", true, "degrade (clamp Pass@k to 1) instead of failing under sustained overload")
 	taskCache := flag.Int("task-cache", 16, "baseline-task cache entries")
 	embedCache := flag.Int("embed-cache", 64, "design-embedding cache entries")
 	retrieveCache := flag.Int("retrieve-cache", 256, "strategy-retrieval cache entries")
@@ -118,6 +124,12 @@ func main() {
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		RequestTimeout:    *reqTimeout,
+		InflightFloor:     *inflightFloor,
+		InflightCeiling:   *inflightCeiling,
+		BreakerFailures:   *breakerFailures,
+		BreakerOpenFor:    *breakerOpenFor,
+		BreakerProbes:     *breakerProbes,
+		DisableBrownout:   !*brownout,
 		TaskCacheSize:     *taskCache,
 		EmbedCacheSize:    *embedCache,
 		RetrieveCacheSize: *retrieveCache,

@@ -3,9 +3,11 @@ package chatls
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/designs"
 	"repro/internal/liberty"
+	"repro/internal/overload"
 	"repro/internal/qorlog"
 	"repro/internal/resilience"
 	"repro/internal/synth"
@@ -84,6 +86,14 @@ type EvalOptions struct {
 	// same (library, sources, script) run the tool exactly once between
 	// them and the rest serve the published record.
 	Results ResultStore
+	// Costs, when non-nil, is the per-stage EWMA cost model used for
+	// deadline-budget admission: a sample whose expected cost exceeds the
+	// remaining context deadline is rejected up front — before any
+	// generation, lease claim, or synthesis — with an error wrapping
+	// overload.ErrBudget, and observed baseline/sample/synthesis durations
+	// feed the model. Nil disables budget checks (beyond an already-expired
+	// deadline) and cost learning.
+	Costs *overload.CostModel
 }
 
 // RunPassK evaluates a pipeline on a design with k samples (the paper's
@@ -112,10 +122,17 @@ func RunPassKParallel(ctx context.Context, p Pipeline, d *designs.Design, k int,
 // RunPassKOpts is RunPassK with explicit options (worker pool, shared
 // checkpoint store).
 func RunPassKOpts(ctx context.Context, p Pipeline, d *designs.Design, k int, lib *liberty.Library, opts EvalOptions) (EvalResult, error) {
+	// Budget admission: a nearly-expired context is rejected before the
+	// baseline synthesis starts, so the evaluation does no partial work.
+	if err := overload.CheckBudget(ctx, overload.StageBaseline, opts.Costs.Expect(overload.StageBaseline)); err != nil {
+		return EvalResult{}, err
+	}
+	start := time.Now()
 	task, baseQoR, err := NewTaskWith(ctx, d, lib, opts.Checkpoints)
 	if err != nil {
 		return EvalResult{}, err
 	}
+	opts.Costs.Observe(overload.StageBaseline, time.Since(start))
 	return EvalTaskOpts(ctx, p, task, baseQoR, k, lib, opts)
 }
 
@@ -205,6 +222,13 @@ func accumulate(res *EvalResult, out SampleOutcome, s int) {
 // sources, script), the synthesis run is skipped and the logged QoR is
 // served instead — bit-identical because the simulator is deterministic.
 func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Library, s int, opts EvalOptions) (*SampleOutcome, error) {
+	// Budget admission: reject before customization when the remaining
+	// deadline cannot cover a whole sample. Returning (nil, err) makes the
+	// evaluation abort with no recorded partial sample.
+	if err := overload.CheckBudget(ctx, overload.StageSample, opts.Costs.Expect(overload.StageSample)); err != nil {
+		return nil, err
+	}
+	sampleStart := time.Now()
 	var script string
 	var out SampleOutcome
 	if rp, ok := p.(ResultPipeline); ok {
@@ -241,6 +265,11 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 			out.QoR = &q
 			return &out, nil
 		}
+		// Budget admission for the synthesis ahead: reject before the lease
+		// claim, so a doomed sample never holds fleet-wide work hostage.
+		if err := overload.CheckBudget(ctx, overload.StageSynth, opts.Costs.Expect(overload.StageSynth)); err != nil {
+			return &out, err
+		}
 		if ls, ok := opts.Results.(LeasedResultStore); ok {
 			rec, done, release := ls.Acquire(ctx, key)
 			if done {
@@ -256,6 +285,7 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 			defer release()
 		}
 	}
+	synthStart := time.Now()
 	sess := synth.NewSession(lib)
 	sess.Checkpoints = opts.Checkpoints
 	sess.AddSource(task.Design.FileName, task.Design.Source)
@@ -267,6 +297,8 @@ func evalSample(ctx context.Context, p Pipeline, task *Task, lib *liberty.Librar
 		out.Err = err.Error()
 		return &out, nil
 	}
+	opts.Costs.Observe(overload.StageSynth, time.Since(synthStart))
+	opts.Costs.Observe(overload.StageSample, time.Since(sampleStart))
 	out.QoR = run.QoR
 	if opts.Results != nil {
 		opts.Results.Put(key, recordOf(*run.QoR))

@@ -2,16 +2,19 @@ package chatls
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/circuitmentor"
 	"repro/internal/designs"
 	"repro/internal/liberty"
 	"repro/internal/llm"
+	"repro/internal/overload"
 	"repro/internal/qorlog"
 	"repro/internal/resilience"
 	"repro/internal/synth"
@@ -89,6 +92,21 @@ type ExperimentConfig struct {
 	// (remotecache.Tier) additionally dedups the synthesis work across
 	// concurrent replicas sharing one remote cache.
 	Results ResultStore
+	// Costs, when non-nil, is the per-stage EWMA cost model threaded into
+	// every evaluation: sweeps reject designs up front when the remaining
+	// context deadline cannot cover the expected work (the whole sweep
+	// aborts with an error wrapping overload.ErrBudget — a doomed deadline
+	// dooms every remaining design the same way). Nil disables budget
+	// admission beyond an already-expired deadline.
+	Costs *overload.CostModel
+}
+
+// isSweepFatal classifies errors that abort a whole sweep rather than
+// skipping one design: context cancellation/timeout, and deadline-budget
+// rejections (a budget too small for this design is too small for the
+// rest of the sweep under the same deadline).
+func isSweepFatal(err error) bool {
+	return resilience.IsFatal(err) || errors.Is(err, overload.ErrBudget)
 }
 
 // DefaultConfig matches the paper's protocol.
@@ -168,9 +186,19 @@ func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 				return
 			}
 		}
+		// Budget admission: a deadline that cannot cover the expected
+		// baseline synthesis rejects the design before any work starts.
+		if err := overload.CheckBudget(ctx, overload.StageBaseline, cfg.Costs.Expect(overload.StageBaseline)); err != nil {
+			results[i] = outcome{err: err}
+			return
+		}
+		start := time.Now()
 		_, q, err := NewTaskWith(ctx, d, cfg.Lib, cfg.Checkpoints)
-		if err == nil && cfg.Results != nil {
-			cfg.Results.Put(key, recordOf(q))
+		if err == nil {
+			cfg.Costs.Observe(overload.StageBaseline, time.Since(start))
+			if cfg.Results != nil {
+				cfg.Results.Put(key, recordOf(q))
+			}
 		}
 		results[i] = outcome{q: q, err: err}
 	})
@@ -178,7 +206,7 @@ func Table4(ctx context.Context, cfg ExperimentConfig) ([]Table4Row, error) {
 	var errs SweepErrors
 	for i, d := range cfg.Designs {
 		if err := results[i].err; err != nil {
-			if resilience.IsFatal(err) {
+			if isSweepFatal(err) {
 				return rows, err
 			}
 			errs = append(errs, DesignError{Design: d.Name, Err: err})
@@ -244,9 +272,9 @@ func Table3(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database) ([
 		row := Table3Row{Design: d.Name}
 		failed := false
 		for _, p := range pipelines {
-			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results})
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results, Costs: cfg.Costs})
 			if err != nil {
-				if resilience.IsFatal(err) {
+				if isSweepFatal(err) {
 					return rows, err
 				}
 				errs = append(errs, DesignError{Design: d.Name, Err: fmt.Errorf("%s: %w", p.Name(), err)})
@@ -586,9 +614,9 @@ func Ablations(ctx context.Context, cfg ExperimentConfig, db *synthrag.Database)
 	for _, variant := range AblationVariants {
 		p := mk(variant)
 		for _, d := range cfg.Designs {
-			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results})
+			res, err := RunPassKOpts(ctx, p, d, cfg.K, cfg.Lib, EvalOptions{Workers: cfg.Workers, Checkpoints: cfg.Checkpoints, Results: cfg.Results, Costs: cfg.Costs})
 			if err != nil {
-				if resilience.IsFatal(err) {
+				if isSweepFatal(err) {
 					return rows, err
 				}
 				errs = append(errs, DesignError{Design: variant + "/" + d.Name, Err: err})
@@ -651,9 +679,13 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 	var errs SweepErrors
 	for _, d := range cfg.Designs {
 		p := NewChatLS(llm.New(llm.GPT4o, cfg.Seed), db)
+		p.Costs = cfg.Costs
+		if err := overload.CheckBudget(ctx, overload.StageBaseline, cfg.Costs.Expect(overload.StageBaseline)); err != nil {
+			return rows, err
+		}
 		task, q, err := NewTaskWith(ctx, d, cfg.Lib, cfg.Checkpoints)
 		if err != nil {
-			if resilience.IsFatal(err) {
+			if isSweepFatal(err) {
 				return rows, err
 			}
 			errs = append(errs, DesignError{Design: d.Name, Err: err})
@@ -670,7 +702,7 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 			task.Baseline = script
 			next, err := p.Customize(ctx, task, 0)
 			if err != nil {
-				if resilience.IsFatal(err) {
+				if isSweepFatal(err) {
 					return rows, err
 				}
 				// A wasted iteration: the previous script stands.
@@ -692,12 +724,18 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 				}
 			}
 			if candidate == nil || adopts(q, *candidate) {
+				// Budget admission before the synthesis run: no partial
+				// tool work on a doomed deadline.
+				if err := overload.CheckBudget(ctx, overload.StageSynth, cfg.Costs.Expect(overload.StageSynth)); err != nil {
+					return rows, err
+				}
+				synthStart := time.Now()
 				sess := synth.NewSession(cfg.Lib)
 				sess.Checkpoints = cfg.Checkpoints
 				sess.AddSource(d.FileName, d.Source)
 				res, err := sess.RunContext(ctx, next)
 				if err != nil {
-					if resilience.IsFatal(err) {
+					if isSweepFatal(err) {
 						return rows, err
 					}
 					// A failed iteration keeps the previous script (the user
@@ -705,6 +743,7 @@ func IterativeClosure(ctx context.Context, cfg ExperimentConfig, db *synthrag.Da
 					rows = append(rows, IterationRow{Design: d.Name, Iter: it, QoR: q, Script: script})
 					continue
 				}
+				cfg.Costs.Observe(overload.StageSynth, time.Since(synthStart))
 				candidate = res.QoR
 				reports = res.Reports
 				if cfg.Results != nil {

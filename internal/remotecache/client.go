@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,12 +21,15 @@ import (
 // same one qorlog.Store established for disks: the tier is an optimization,
 // never a dependency. Every method is total — a miss, a transport failure,
 // an injected fault, or a server that vanished mid-run all produce "not
-// found" / "not stored", and the first hard failure flips the client into
-// sticky degraded mode with ONE warning, after which every call returns
-// immediately without touching the network. Requests that classify as
-// transient (resilience.IsRetryableNet) are retried a bounded number of
-// times first; connection-refused — the signature of a dead tier — is not,
-// so degradation is immediate when the server is gone.
+// found" / "not stored". A hard failure trips a circuit breaker into
+// local-only mode with ONE warning, after which calls return immediately
+// without touching the network; unlike the original sticky latch, the
+// breaker goes half-open after a dwell and probes the tier, so a restarted
+// server re-attaches automatically (logged once per recovery). Requests
+// that classify as transient (resilience.IsRetryableNet) are retried a
+// bounded number of times first; connection-refused — the signature of a
+// dead tier — is not, so the breaker opens immediately when the server is
+// gone.
 //
 // Safe for concurrent use; every method is nil-safe (a nil client is a
 // permanently-missing tier).
@@ -38,7 +42,8 @@ type Client struct {
 	inject *resilience.Injector
 	warnf  func(format string, args ...any)
 
-	degraded atomic.Bool
+	breaker  *resilience.Breaker
+	warnOnce sync.Once
 
 	qorHits, qorMisses, qorPuts    atomic.Int64
 	blobHits, blobMisses, blobPuts atomic.Int64
@@ -62,9 +67,18 @@ type ClientConfig struct {
 	// Inject, when non-nil, injects faults at the client boundary under the
 	// resilience.CompRemoteCache component (fault-injection suite only).
 	Inject *resilience.Injector
-	// Warnf sinks the single degradation warning (default log.Printf).
+	// Warnf sinks the single degradation warning and the per-recovery
+	// re-attach notice (default log.Printf).
 	Warnf func(format string, args ...any)
+	// Breaker tunes the tier circuit breaker. Zero-valued fields get the
+	// client defaults: one hard failure opens (a dead tier should not eat
+	// further requests), DefaultBreakerOpenFor dwell, one probe.
+	Breaker resilience.BreakerConfig
 }
+
+// DefaultBreakerOpenFor is how long the client stays local-only after the
+// tier fails before probing it again.
+const DefaultBreakerOpenFor = 2 * time.Second
 
 // requestAttempts bounds retries of one request while the failure stays
 // transient (resilience.IsRetryableNet).
@@ -87,7 +101,13 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Warnf == nil {
 		cfg.Warnf = log.Printf
 	}
-	return &Client{
+	if cfg.Breaker.Failures <= 0 {
+		cfg.Breaker.Failures = 1
+	}
+	if cfg.Breaker.OpenFor <= 0 {
+		cfg.Breaker.OpenFor = DefaultBreakerOpenFor
+	}
+	c := &Client{
 		base:   cfg.BaseURL,
 		hc:     &http.Client{Timeout: cfg.Timeout},
 		owner:  cfg.Owner,
@@ -96,16 +116,46 @@ func NewClient(cfg ClientConfig) *Client {
 		inject: cfg.Inject,
 		warnf:  cfg.Warnf,
 	}
+	cfg.Breaker.OnClose = func() {
+		c.warnf("remotecache: tier reachable again, re-attaching " +
+			"(fleet-wide dedup and sharing restored)")
+	}
+	c.breaker = resilience.NewBreaker(cfg.Breaker)
+	return c
 }
 
-// Degraded reports whether the tier has been abandoned for this process.
-func (c *Client) Degraded() bool { return c != nil && c.degraded.Load() }
+// Degraded reports whether the tier is currently abandoned (breaker open).
+// Unlike the original sticky latch this clears again once a half-open
+// probe reaches a recovered server.
+func (c *Client) Degraded() bool {
+	return c != nil && c.breaker.State() == resilience.BreakerOpen
+}
 
-// degrade flips the client to local-only mode, warning exactly once.
-func (c *Client) degrade(err error) {
-	if c.degraded.CompareAndSwap(false, true) {
-		c.warnf("remotecache: tier unreachable, degrading to local-only mode "+
-			"(results stay correct; fleet-wide dedup and sharing are off): %v", err)
+// BreakerState exposes the tier breaker position for healthz/metrics.
+func (c *Client) BreakerState() resilience.BreakerState {
+	if c == nil {
+		return resilience.BreakerClosed
+	}
+	return c.breaker.State()
+}
+
+// allow asks the breaker for admission; an open breaker makes every call
+// an immediate miss.
+func (c *Client) allow() bool { return c.breaker.Allow() }
+
+// ok reports a reachable tier to the breaker (any HTTP exchange that
+// completed, hit or miss, proves the tier is alive).
+func (c *Client) ok() { c.breaker.Success() }
+
+// fail reports a hard transport failure: the breaker trips and the first
+// open in the process lifetime logs the single degradation warning.
+func (c *Client) fail(err error) {
+	c.breaker.Failure()
+	if c.breaker.State() == resilience.BreakerOpen {
+		c.warnOnce.Do(func() {
+			c.warnf("remotecache: tier unreachable, degrading to local-only mode "+
+				"(results stay correct; fleet-wide dedup and sharing are off): %v", err)
+		})
 	}
 }
 
@@ -136,7 +186,7 @@ func drain(resp *http.Response) {
 
 // GetQoR fetches the record for key. Misses and failures are both "no".
 func (c *Client) GetQoR(key qorlog.Key) (qorlog.Record, bool) {
-	if c == nil || c.degraded.Load() {
+	if c == nil || !c.allow() {
 		return qorlog.Record{}, false
 	}
 	url := c.base + "/v1/qor/" + key.Hex()
@@ -144,9 +194,10 @@ func (c *Client) GetQoR(key qorlog.Key) (qorlog.Record, bool) {
 		return http.NewRequest(http.MethodGet, url, nil)
 	})
 	if err != nil {
-		c.degrade(err)
+		c.fail(err)
 		return qorlog.Record{}, false
 	}
+	c.ok()
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		c.qorMisses.Add(1)
@@ -171,7 +222,7 @@ func (c *Client) GetQoR(key qorlog.Key) (qorlog.Record, bool) {
 // PutQoR publishes a record. Failures drop the record (the local tier still
 // has it).
 func (c *Client) PutQoR(key qorlog.Key, rec qorlog.Record) {
-	if c == nil || c.degraded.Load() {
+	if c == nil || !c.allow() {
 		return
 	}
 	frame := qorlog.EncodeRecord(key, rec)
@@ -180,10 +231,11 @@ func (c *Client) PutQoR(key qorlog.Key, rec qorlog.Record) {
 		return http.NewRequest(http.MethodPut, url, bytes.NewReader(frame))
 	})
 	if err != nil {
-		c.degrade(err)
+		c.fail(err)
 		c.dropped.Add(1)
 		return
 	}
+	c.ok()
 	drain(resp)
 	if resp.StatusCode != http.StatusNoContent {
 		c.dropped.Add(1)
@@ -196,7 +248,7 @@ func (c *Client) PutQoR(key qorlog.Key, rec qorlog.Record) {
 // (synth's checkpointKey bytes); it travels hex-encoded. Implements
 // synth.BlobCache.
 func (c *Client) GetBlob(key string) ([]byte, bool) {
-	if c == nil || c.degraded.Load() {
+	if c == nil || !c.allow() {
 		return nil, false
 	}
 	url := c.base + "/v1/checkpoint/" + hex.EncodeToString([]byte(key))
@@ -204,9 +256,10 @@ func (c *Client) GetBlob(key string) ([]byte, bool) {
 		return http.NewRequest(http.MethodGet, url, nil)
 	})
 	if err != nil {
-		c.degrade(err)
+		c.fail(err)
 		return nil, false
 	}
+	c.ok()
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		c.blobMisses.Add(1)
@@ -223,7 +276,7 @@ func (c *Client) GetBlob(key string) ([]byte, bool) {
 
 // PutBlob publishes a checkpoint blob. Implements synth.BlobCache.
 func (c *Client) PutBlob(key string, blob []byte) {
-	if c == nil || c.degraded.Load() {
+	if c == nil || !c.allow() {
 		return
 	}
 	url := c.base + "/v1/checkpoint/" + hex.EncodeToString([]byte(key))
@@ -231,10 +284,11 @@ func (c *Client) PutBlob(key string, blob []byte) {
 		return http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
 	})
 	if err != nil {
-		c.degrade(err)
+		c.fail(err)
 		c.dropped.Add(1)
 		return
 	}
+	c.ok()
 	drain(resp)
 	if resp.StatusCode != http.StatusNoContent {
 		c.dropped.Add(1)
@@ -257,7 +311,7 @@ func (c *Client) PutBlob(key string, blob []byte) {
 // result is published (deferred by the eval path).
 func (c *Client) Acquire(ctx context.Context, key qorlog.Key) (qorlog.Record, bool, func()) {
 	noop := func() {}
-	if c == nil || c.degraded.Load() {
+	if c == nil || !c.allow() {
 		return qorlog.Record{}, false, noop
 	}
 	waited := false
@@ -265,10 +319,16 @@ func (c *Client) Acquire(ctx context.Context, key qorlog.Key) (qorlog.Record, bo
 		resp, err := c.claim(ctx, key)
 		if err != nil {
 			if ctx.Err() == nil {
-				c.degrade(err)
+				c.fail(err)
+			} else {
+				// Our own cancellation, not the tier's fault — return the
+				// admission slot without a verdict so a half-open probe is
+				// not burned on it.
+				c.breaker.Drop()
 			}
 			return qorlog.Record{}, false, noop
 		}
+		c.ok()
 		switch resp.Status {
 		case StatusDone:
 			if rec, ok := c.GetQoR(key); ok {
@@ -339,16 +399,21 @@ func (c *Client) claim(ctx context.Context, key qorlog.Key) (*leaseClaimResponse
 // complete releases a lease, best-effort: the result is already published,
 // and an unreleased lease merely expires.
 func (c *Client) complete(ctx context.Context, id string) {
-	if c.degraded.Load() {
+	if !c.allow() {
 		return
 	}
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodPost, c.base+"/v1/leases/"+id+"/complete", nil)
 	})
 	if err != nil {
-		c.degrade(err)
+		if ctx.Err() == nil {
+			c.fail(err)
+		} else {
+			c.breaker.Drop()
+		}
 		return
 	}
+	c.ok()
 	drain(resp)
 }
 
@@ -372,6 +437,6 @@ func (c *Client) Stats() ClientStats {
 		BlobHits: c.blobHits.Load(), BlobMisses: c.blobMisses.Load(), BlobPuts: c.blobPuts.Load(),
 		LeasesGranted: c.granted.Load(), LeaseWaits: c.waited.Load(),
 		Dropped:  c.dropped.Load(),
-		Degraded: c.degraded.Load(),
+		Degraded: c.Degraded(),
 	}
 }

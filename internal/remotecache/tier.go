@@ -27,8 +27,15 @@ type Tier struct {
 	queue  chan tierPut
 	stop   chan struct{}
 	done   chan struct{}
-	wg     sync.WaitGroup // in-flight queued publishes
 	closed atomic.Bool
+
+	// pending counts queued-but-unpublished records. A plain WaitGroup
+	// cannot express this: Put (Add) races Wait from concurrent lease
+	// releases, and a WaitGroup panics when the counter bounces off zero
+	// while a Wait is in flight — the chaos soak hits exactly that.
+	mu      sync.Mutex
+	pending int
+	drained *sync.Cond
 }
 
 type tierPut struct {
@@ -52,6 +59,7 @@ func NewTier(local *qorlog.Store, remote *Client) *Tier {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	t.drained = sync.NewCond(&t.mu)
 	go t.publishLoop()
 	return t
 }
@@ -62,19 +70,40 @@ func (t *Tier) publishLoop() {
 		select {
 		case p := <-t.queue:
 			t.remote.PutQoR(p.key, p.rec)
-			t.wg.Done()
+			t.finish()
 		case <-t.stop:
 			for {
 				select {
 				case p := <-t.queue:
 					t.remote.PutQoR(p.key, p.rec)
-					t.wg.Done()
+					t.finish()
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// finish marks one queued publish attempted, waking drain waiters at zero.
+func (t *Tier) finish() {
+	t.mu.Lock()
+	t.pending--
+	if t.pending == 0 {
+		t.drained.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+// drain blocks until no queued publish is outstanding. Unlike a WaitGroup
+// it is safe against concurrent Puts re-raising the count: the waiter
+// simply keeps waiting until a real zero.
+func (t *Tier) drain() {
+	t.mu.Lock()
+	for t.pending > 0 {
+		t.drained.Wait()
+	}
+	t.mu.Unlock()
 }
 
 // Get is the read-through lookup: local store first, then the remote tier.
@@ -103,11 +132,13 @@ func (t *Tier) Put(key qorlog.Key, rec qorlog.Record) {
 	if t.remote == nil || t.remote.Degraded() || t.closed.Load() {
 		return
 	}
-	t.wg.Add(1)
+	t.mu.Lock()
+	t.pending++
+	t.mu.Unlock()
 	select {
 	case t.queue <- tierPut{key, rec}:
 	case <-t.stop:
-		t.wg.Done()
+		t.finish()
 	}
 }
 
@@ -127,7 +158,7 @@ func (t *Tier) Acquire(ctx context.Context, key qorlog.Key) (qorlog.Record, bool
 		return rec, true, release
 	}
 	return rec, false, func() {
-		t.wg.Wait()
+		t.drain()
 		release()
 	}
 }
@@ -137,7 +168,7 @@ func (t *Tier) Flush() {
 	if t == nil {
 		return
 	}
-	t.wg.Wait()
+	t.drain()
 }
 
 // Close flushes and stops the publisher. Call after the last Put (the
@@ -147,7 +178,7 @@ func (t *Tier) Close() {
 	if t == nil || !t.closed.CompareAndSwap(false, true) {
 		return
 	}
-	t.wg.Wait()
+	t.drain()
 	close(t.stop)
 	<-t.done
 }

@@ -50,12 +50,33 @@ type Fault struct {
 type Injector struct {
 	mu     sync.Mutex
 	faults []Fault
+	sticky map[string]Mode
 	counts map[string]int
 }
 
 // NewInjector builds an injector over a fault schedule.
 func NewInjector(faults ...Fault) *Injector {
 	return &Injector{faults: faults, counts: make(map[string]int)}
+}
+
+// Set installs (mode > 0) or clears (mode 0) a sticky fault: every call to
+// component faults with mode until cleared. The chaos harness drives
+// outage windows through this — it turns a component off, lets breakers
+// trip, then turns it back on and watches them close.
+func (in *Injector) Set(component string, mode Mode) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sticky == nil {
+		in.sticky = make(map[string]Mode)
+	}
+	if mode == 0 {
+		delete(in.sticky, component)
+		return
+	}
+	in.sticky[component] = mode
 }
 
 // Fire is invoked at the start of each guarded call to component. It
@@ -68,6 +89,18 @@ func (in *Injector) Fire(ctx context.Context, component string) error {
 	in.mu.Lock()
 	in.counts[component]++
 	n := in.counts[component]
+	if mode, ok := in.sticky[component]; ok {
+		in.mu.Unlock()
+		switch mode {
+		case ModePanic:
+			panic(fmt.Sprintf("injected panic in %s (call %d)", component, n))
+		case ModeHang:
+			<-ctx.Done()
+			return ctx.Err()
+		default:
+			return fmt.Errorf("%w: %s (call %d)", ErrInjected, component, n)
+		}
+	}
 	var hit *Fault
 	for i := range in.faults {
 		f := &in.faults[i]

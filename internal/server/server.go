@@ -3,6 +3,14 @@
 // one-shot experiment harness, the machinery a long-lived daemon needs:
 //
 //   - a bounded worker pool with admission control (full queue → 429),
+//   - adaptive overload protection (internal/overload): an AIMD concurrency
+//     limiter in front of the pool, cost-based load shedding when the
+//     learned end-to-end request cost cannot fit the deadline (503 +
+//     Retry-After), and a brownout mode that clamps Pass@k to one sample
+//     under sustained shedding,
+//   - per-stage circuit breakers (internal/resilience) around the pipeline's
+//     auxiliary components, so a persistently failing stage is skipped
+//     immediately instead of burning retries on every request,
 //   - a per-request deadline (resilience timeout → 504),
 //   - singleflight deduplication of identical in-flight requests,
 //   - LRU caches for the expensive idempotent stages (baseline task
@@ -24,6 +32,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +45,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/lru"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/qorlog"
 	"repro/internal/remotecache"
 	"repro/internal/resilience"
@@ -57,6 +68,35 @@ type Config struct {
 	Workers        int           // worker pool size (default 2)
 	QueueDepth     int           // admission-control queue bound (default 8)
 	RequestTimeout time.Duration // per-request deadline (default 60s)
+
+	// Adaptive overload protection (see internal/overload). The limiter
+	// bounds admitted-but-unfinished requests between InflightFloor
+	// (default 1) and InflightCeiling (default Workers+QueueDepth — the
+	// old fixed cap), starting at the ceiling and adapting on observed
+	// completion latency.
+	InflightFloor   int
+	InflightCeiling int
+	// Per-stage circuit-breaker tuning for the pipeline's auxiliary
+	// components (mentor, RAG embed/retrieve, expert): BreakerFailures
+	// consecutive failures trip a stage open (default 5), it dwells open
+	// for BreakerOpenFor (default 5s), then admits BreakerProbes half-open
+	// probes (default 1).
+	BreakerFailures int
+	BreakerOpenFor  time.Duration
+	BreakerProbes   int
+	// DisableBrownout turns off the sustained-pressure degradation mode
+	// (Pass@k clamped to 1 while most recent admissions shed).
+	DisableBrownout bool
+	// Costs, when non-nil, is a shared (possibly pre-seeded) per-stage
+	// cost model; nil gets a fresh one. The chaos harness injects a
+	// primed model to exercise cost-based shedding deterministically.
+	Costs *overload.CostModel
+	// BeforeWork, when set, runs at the start of every pool-executed
+	// customization — the chaos harness injects latency spikes here.
+	BeforeWork func()
+	// PipelineInject, when set, is installed as the fault injector on
+	// every per-request chatls pipeline (tests and the chaos harness).
+	PipelineInject *resilience.Injector
 
 	TaskCacheSize     int // baseline-task LRU entries (default 16)
 	EmbedCacheSize    int // design-embedding LRU entries (default 64)
@@ -135,6 +175,14 @@ type Server struct {
 	reg     *metrics.Registry
 	closed  atomic.Bool
 
+	limiter  *overload.Limiter
+	brownout *overload.Brownout // nil when DisableBrownout
+	costs    *overload.CostModel
+	breakers map[string]*resilience.Breaker // per-stage, shared across requests
+
+	costSheds atomic.Int64 // requests shed because expected cost exceeds the deadline
+	shedProbe atomic.Int64 // deterministic 1-in-N probe-through counter for cost sheds
+
 	requests     *metrics.Counter
 	rejected     *metrics.Counter
 	errs         *metrics.Counter
@@ -151,7 +199,13 @@ type Server struct {
 	hookBeforeWork func()
 }
 
-var errOverloaded = errors.New("queue full")
+var (
+	errOverloaded = errors.New("queue full")
+	// errShed marks a cost-based shed: the learned end-to-end request cost
+	// no longer fits the per-request deadline, so running the work could
+	// only produce a 504 after burning a worker.
+	errShed = errors.New("expected request cost exceeds the deadline")
+)
 
 // New validates the config, applies defaults, enables the database caches,
 // and wires the metrics registry.
@@ -206,6 +260,30 @@ func New(cfg Config) (*Server, error) {
 		cfg.BatchMax = batch.DefaultMaxBatch
 	}
 
+	if cfg.InflightFloor <= 0 {
+		cfg.InflightFloor = 1
+	}
+	if cfg.InflightCeiling <= 0 {
+		// The ceiling defaults to the old fixed admission cap, so a
+		// fresh (uncongested) server admits exactly what it used to.
+		cfg.InflightCeiling = cfg.Workers + cfg.QueueDepth
+	}
+	if cfg.InflightCeiling < cfg.InflightFloor {
+		cfg.InflightCeiling = cfg.InflightFloor
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = 5
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = 5 * time.Second
+	}
+	if cfg.BreakerProbes <= 0 {
+		cfg.BreakerProbes = 1
+	}
+	if cfg.Costs == nil {
+		cfg.Costs = overload.NewCostModel(0)
+	}
+
 	cfg.DB.EnableCache(cfg.EmbedCacheSize, cfg.RetrieveCacheSize)
 	if !cfg.DisableBatching {
 		cfg.DB.EnableBatching(cfg.BatchWindow, cfg.BatchMax)
@@ -221,6 +299,34 @@ func New(cfg Config) (*Server, error) {
 		flight: newFlightGroup(),
 		tasks:  lru.New[string, taskEntry](cfg.TaskCacheSize),
 		reg:    metrics.NewRegistry(),
+		costs:  cfg.Costs,
+		limiter: overload.NewLimiter(overload.LimiterConfig{
+			Floor:   cfg.InflightFloor,
+			Ceiling: cfg.InflightCeiling,
+		}),
+	}
+	if !cfg.DisableBrownout {
+		s.brownout = overload.NewBrownout(overload.BrownoutConfig{})
+	}
+	s.breakers = make(map[string]*resilience.Breaker, 4)
+	for _, comp := range []string{
+		resilience.CompMentor,
+		resilience.CompRAGEmbed,
+		resilience.CompRAGRetrieve,
+		resilience.CompExpert,
+	} {
+		comp := comp
+		s.breakers[comp] = resilience.NewBreaker(resilience.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			OpenFor:  cfg.BreakerOpenFor,
+			Probes:   cfg.BreakerProbes,
+			OnOpen: func() {
+				log.Printf("chatlsd: circuit breaker for %s opened (stage skipped until recovery probes succeed)", comp)
+			},
+			OnClose: func() {
+				log.Printf("chatlsd: circuit breaker for %s closed (stage restored)", comp)
+			},
+		})
 	}
 	if cfg.CheckpointCap >= 0 {
 		s.ckpt = synth.NewCheckpointStore(cfg.CheckpointCap)
@@ -300,6 +406,27 @@ func New(cfg Config) (*Server, error) {
 		func() int64 { return int64(s.pool.Queued()) })
 	s.reg.NewGaugeFunc("chatlsd_workers_busy", "workers currently executing a request",
 		func() int64 { return int64(s.pool.Busy()) })
+	s.reg.NewGaugeFunc("overload_limit", "current adaptive concurrency limit",
+		func() int64 { return int64(s.limiter.Limit()) })
+	s.reg.NewGaugeFunc("overload_inflight", "requests holding adaptive-limiter slots",
+		func() int64 { return int64(s.limiter.Inflight()) })
+	s.reg.NewCounterFunc("overload_shed_total", "requests shed by overload protection (limiter rejects plus cost-based sheds)",
+		func() int64 { return s.limiter.Sheds() + s.costSheds.Load() })
+	s.reg.NewGaugeFunc("overload_brownout_active", "1 while brownout mode is degrading service (Pass@k clamped to 1)",
+		func() int64 {
+			if s.brownout.Active() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.NewCounterFunc("overload_brownout_entries_total", "times brownout mode has been entered",
+		s.brownout.Entries)
+	for comp, br := range s.breakers {
+		br := br
+		s.reg.NewGaugeFunc("breaker_state_"+metricName(comp),
+			"circuit-breaker state for "+comp+" (0=closed, 1=half-open, 2=open)",
+			func() int64 { return int64(br.State()) })
+	}
 	if rc := cfg.RemoteCache; rc != nil {
 		s.reg.NewCounterFunc("remotecache_client_qor_hits_total", "QoR records served by the remote result tier",
 			func() int64 { return rc.Stats().QoRHits })
@@ -319,13 +446,16 @@ func New(cfg Config) (*Server, error) {
 			func() int64 { return rc.Stats().LeaseWaits })
 		s.reg.NewCounterFunc("remotecache_client_dropped_total", "remote-tier operations dropped by degradation or errors",
 			func() int64 { return rc.Stats().Dropped })
-		s.reg.NewGaugeFunc("remotecache_client_degraded", "1 once the remote tier was abandoned (local-only mode)",
+		s.reg.NewGaugeFunc("remotecache_client_degraded", "1 while the remote tier is unreachable (local-only mode)",
 			func() int64 {
 				if rc.Degraded() {
 					return 1
 				}
 				return 0
 			})
+		s.reg.NewGaugeFunc("breaker_state_remotecache",
+			"circuit-breaker state for the remote result tier (0=closed, 1=half-open, 2=open)",
+			func() int64 { return int64(rc.BreakerState()) })
 	}
 	s.latency = s.reg.NewHistogram("chatlsd_customize_seconds", "end-to-end customize latency", metrics.DefaultLatencyBuckets)
 
@@ -455,10 +585,20 @@ type customizeResponse struct {
 	Improved   bool         `json:"improved"`
 	Script     string       `json:"script,omitempty"`
 	Samples    []sampleJSON `json:"samples"`
+	// Degraded lists request-level degradations ("brownout" when the
+	// server clamped k under sustained overload); per-sample pipeline
+	// degradations live on the samples.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
+// errorResponse is the JSON error body on every non-2xx reply. Retryable is
+// true exactly for the transient overload/timeout statuses (429, 503, 504):
+// the same request may succeed later, and the reply carries a Retry-After
+// header hinting when. 4xx input errors are not retryable — resending the
+// same bytes fails the same way.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -467,6 +607,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// writeError writes the uniform JSON error body, attaching a Retry-After
+// hint (derived from the learned end-to-end request cost, minimum 1s) to
+// the retryable statuses so well-behaved clients back off instead of
+// hammering an overloaded server.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	retryable := code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+	if retryable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeJSON(w, code, errorResponse{Error: msg, Retryable: retryable})
+}
+
+// retryAfterSeconds rounds the expected request cost up to whole seconds:
+// retrying sooner than one service time cannot help.
+func (s *Server) retryAfterSeconds() int {
+	d := s.costs.Expect(overload.StageRequest)
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// metricName flattens a component name ("synthrag/embed") into a metric
+// suffix ("synthrag_embed") — the registry has no labels.
+func metricName(comp string) string {
+	return strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(comp)
 }
 
 // decodeCustomize decodes and validates a customize request body. It is the
@@ -512,7 +683,7 @@ func (s *Server) decodeCustomize(w http.ResponseWriter, r *http.Request) (custom
 
 func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 	s.requests.Inc()
@@ -527,19 +698,47 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 		case http.StatusUnprocessableEntity:
 			s.invalidReq.Inc()
 		}
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		s.writeError(w, code, err.Error())
 		return
 	}
 	d, ok := s.byName[req.Design]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown design %q", req.Design)})
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown design %q", req.Design))
 		return
+	}
+
+	// Brownout: under sustained shedding the server serves a weaker answer
+	// rather than more errors — Pass@k clamps to one sample. Clamping
+	// before the singleflight key is computed lets browned-out requests
+	// coalesce with each other.
+	brownedOut := false
+	if req.K > 1 && s.brownout.Active() {
+		req.K = 1
+		brownedOut = true
 	}
 
 	// Identical concurrent requests share one execution (and one worker
 	// slot); the key is every input that shapes the result.
 	key := fmt.Sprintf("%s\x00%s\x00%s\x00%d", req.Design, req.Requirement, req.Pipeline, req.K)
 	v, _, err := s.flight.Do(key, func() (any, error) {
+		// Cost-based shed: when the learned end-to-end cost cannot fit the
+		// per-request deadline, admitting the work could only produce a 504
+		// after burning a worker — reject now. Every 8th would-be shed is
+		// deterministically admitted anyway so the cost model keeps
+		// re-learning and a recovered backend un-sheds itself.
+		if s.costs.Expect(overload.StageRequest) > s.cfg.RequestTimeout {
+			if s.shedProbe.Add(1)%8 != 0 {
+				s.costSheds.Add(1)
+				return nil, errShed
+			}
+		}
+		// Adaptive admission: the limiter bounds admitted-but-unfinished
+		// requests, contracting under latency congestion and re-expanding
+		// when completions come back on time.
+		if !s.limiter.Acquire() {
+			return nil, errOverloaded
+		}
+		start := time.Now()
 		var out *customizeResponse
 		var werr error
 		done := make(chan struct{})
@@ -547,24 +746,49 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 			defer close(done)
 			out, werr = s.runCustomize(d, req)
 		}) {
+			// The pool is the hard backstop behind the adaptive limiter
+			// (reachable only when the ceiling is configured above
+			// workers+queue). The slot never ran: no latency observation.
+			s.limiter.Cancel()
 			return nil, errOverloaded
 		}
 		<-done
+		// Queue wait plus service time is the congestion signal AIMD needs.
+		s.limiter.Release(time.Since(start))
 		return out, werr
 	})
+	shed := err != nil && (errors.Is(err, errOverloaded) || errors.Is(err, errShed))
+	s.brownout.Note(shed)
 	if err != nil {
 		switch {
 		case errors.Is(err, errOverloaded):
 			s.rejected.Inc()
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server overloaded, retry later"})
+			s.writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		case errors.Is(err, errShed):
+			s.rejected.Inc()
+			s.writeError(w, http.StatusServiceUnavailable,
+				"server overloaded: expected request cost exceeds the deadline, retry later")
+		case errors.Is(err, overload.ErrBudget):
+			// The request was rejected inside the pipeline before any
+			// synthesis started; no partial work was done.
+			s.rejected.Inc()
+			s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, resilience.ErrTimeout):
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request deadline exceeded"})
+			s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 		default:
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			s.writeError(w, http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	resp := v.(*customizeResponse)
+	if brownedOut {
+		// Copy before annotating: the singleflight value is shared with
+		// coalesced followers and must stay immutable.
+		cp := *resp
+		cp.Degraded = append(append([]string(nil), resp.Degraded...), "brownout")
+		resp = &cp
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runCustomize executes one deduplicated customization on a pool worker.
@@ -572,12 +796,24 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 // context, so a client disconnect does not abort work a coalesced follower
 // may still be waiting on — and so graceful shutdown drains rather than
 // cancels.
-func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customizeResponse, error) {
+func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (resp *customizeResponse, err error) {
 	if h := s.hookBeforeWork; h != nil {
 		h()
 	}
+	if h := s.cfg.BeforeWork; h != nil {
+		h()
+	}
 	start := time.Now()
-	defer func() { s.latency.ObserveDuration(time.Since(start)) }()
+	defer func() {
+		elapsed := time.Since(start)
+		s.latency.ObserveDuration(elapsed)
+		// Successes and deadline overruns both teach the end-to-end cost
+		// model (a timeout is exactly the cost signal shedding needs);
+		// other failures say nothing about cost.
+		if err == nil || errors.Is(err, resilience.ErrTimeout) {
+			s.costs.Observe(overload.StageRequest, elapsed)
+		}
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -592,7 +828,7 @@ func (s *Server) runCustomize(d *designs.Design, req customizeRequest) (*customi
 	t.Requirement = req.Requirement
 
 	res, err := chatls.EvalTaskOpts(ctx, s.newPipeline(req.Pipeline), &t, baseQoR, req.K, s.cfg.Lib,
-		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt, Results: s.resultStore()})
+		chatls.EvalOptions{Workers: 1, Checkpoints: s.ckpt, Results: s.resultStore(), Costs: s.costs})
 	if err != nil {
 		s.countErr(err)
 		return nil, err
@@ -651,7 +887,14 @@ func (s *Server) newPipeline(name string) chatls.Pipeline {
 	case "claude":
 		return &chatls.RawPipeline{Model: llm.New(llm.Claude35, s.cfg.Seed)}
 	default:
-		return chatls.NewChatLS(s.cfg.Model, s.cfg.DB)
+		p := chatls.NewChatLS(s.cfg.Model, s.cfg.DB)
+		// Breakers and the cost model are shared across every request, so
+		// stage health and learned costs persist beyond one pipeline
+		// instance; the injector is the chaos/test fault layer.
+		p.Breakers = s.breakers
+		p.Costs = s.costs
+		p.Inject = s.cfg.PipelineInject
+		return p
 	}
 }
 
@@ -691,6 +934,21 @@ func toBudgetJSON(b inputlimits.Budget) budgetJSON {
 	}
 }
 
+// overloadJSON is the overload-protection state in the health report: the
+// adaptive limit and its bounds, shed counts, brownout, and every circuit
+// breaker's position — what an operator (or the chaos harness) checks to
+// see whether the server has recovered after an incident.
+type overloadJSON struct {
+	Limit         int               `json:"limit"`
+	Floor         int               `json:"floor"`
+	Ceiling       int               `json:"ceiling"`
+	Inflight      int               `json:"inflight"`
+	ShedTotal     int64             `json:"shed_total"`
+	Brownout      bool              `json:"brownout"`
+	Breakers      map[string]string `json:"breakers"`
+	RequestCostNS int64             `json:"expected_request_cost_ns,omitempty"`
+}
+
 // healthzResponse echoes the effective request and parser limits so an
 // operator can confirm what the running daemon actually enforces — the
 // values reflect any cmd/chatlsd flag overrides, not just the defaults.
@@ -705,12 +963,20 @@ type healthzResponse struct {
 	HNSWEf            int                   `json:"hnsw_ef,omitempty"`
 	IndexBackends     map[string]string     `json:"index_backends"`
 	ParserBudgets     map[string]budgetJSON `json:"parser_budgets"`
+	Overload          overloadJSON          `json:"overload"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "shutting down"})
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
 		return
+	}
+	breakers := make(map[string]string, len(s.breakers)+1)
+	for comp, br := range s.breakers {
+		breakers[comp] = br.State().String()
+	}
+	if rc := s.cfg.RemoteCache; rc != nil {
+		breakers[resilience.CompRemoteCache] = rc.BreakerState().String()
 	}
 	limits := inputlimits.Defaults()
 	writeJSON(w, http.StatusOK, healthzResponse{
@@ -728,6 +994,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			inputlimits.SurfaceLiberty: toBudgetJSON(limits.Liberty),
 			inputlimits.SurfaceScript:  toBudgetJSON(limits.Script),
 			inputlimits.SurfaceCypher:  toBudgetJSON(limits.Cypher),
+		},
+		Overload: overloadJSON{
+			Limit:         s.limiter.Limit(),
+			Floor:         s.limiter.Floor(),
+			Ceiling:       s.limiter.Ceiling(),
+			Inflight:      s.limiter.Inflight(),
+			ShedTotal:     s.limiter.Sheds() + s.costSheds.Load(),
+			Brownout:      s.brownout.Active(),
+			Breakers:      breakers,
+			RequestCostNS: s.costs.Expect(overload.StageRequest).Nanoseconds(),
 		},
 	})
 }

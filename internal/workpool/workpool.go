@@ -76,6 +76,10 @@ func (p *Pool) Queued() int { return len(p.tasks) }
 // Busy returns the number of workers currently running a task.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
+// InFlight returns the tasks admitted but not yet finished (queued plus
+// running) — the quantity an adaptive admission limiter bounds.
+func (p *Pool) InFlight() int { return len(p.tasks) + int(p.busy.Load()) }
+
 // Close stops admitting tasks, drains the queue, and waits for every
 // running task to finish. Safe to call more than once.
 func (p *Pool) Close() {
