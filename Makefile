@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet ci serve bench bench-compare batch-race fuzz-smoke crash-recovery remote-cache-e2e chaos-soak check
+.PHONY: build test short race vet ci serve bench bench-compare bench-gate bench-gate-baseline memprofile batch-race fuzz-smoke crash-recovery remote-cache-e2e chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench:
 # Headline perf record: runs the paper-scale benchmarks, the checkpointing
 # pair, the batched-vs-serial embedding pair, and the Flat-vs-HNSW retrieval
 # pair five times each and writes the averaged ns/op, B/op, allocs/op (plus
-# custom units like recall and hops/op) to BENCH_5.json for comparison
+# custom units like recall and hops/op) to BENCH_6.json for comparison
 # against earlier checked-in records. CompileUltraSwerv matches both the
 # fresh and the checkpointed variant (their ratio is the checkpoint
 # speedup); EmbedGlobalSerial/Batched is the batching speedup per flush;
@@ -42,8 +42,38 @@ SEARCH_COMPARE ?= FlatSearch10k|HNSWSearch10k
 bench-compare:
 	{ $(GO) test -bench='$(COMPARE)' -benchmem -benchtime=1x -count=5 -run=^$$ . ; \
 	  $(GO) test -bench='$(SEARCH_COMPARE)' -benchmem -count=5 -run=^$$ ./internal/vecindex ; } \
-		| $(GO) run ./cmd/benchjson > BENCH_5.json
-	@cat BENCH_5.json
+		| $(GO) run ./cmd/benchjson > BENCH_6.json
+	@cat BENCH_6.json
+
+# Allocation-regression gate: reruns the fast benchmarks (the paper-scale
+# Table2/Table4 database builds are excluded to keep this CI-speed) and
+# fails if any benchmark's allocs/op regresses more than 20% against the
+# checked-in BENCH_GATE.json baseline. The baseline is recorded by
+# bench-gate-baseline with the *same* benchmark subset and -count as the
+# gate rerun — allocs/op is deterministic only under identical process
+# conditions (which earlier benchmarks warmed the intern table and the
+# scratch pools matters), so the gate must not compare against the
+# full-set BENCH_6.json record. Regenerate the baseline whenever a change
+# intentionally moves an allocation count.
+GATE ?= CompileUltraSwerv|CheckpointRestore|EmbedGlobalSerial|EmbedGlobalBatched
+GATE_BASELINE ?= BENCH_GATE.json
+GATE_RUN = { $(GO) test -bench='$(GATE)' -benchmem -benchtime=1x -count=3 -run=^$$ . ; \
+	  $(GO) test -bench='$(SEARCH_COMPARE)' -benchmem -count=3 -run=^$$ ./internal/vecindex ; }
+bench-gate:
+	$(GATE_RUN) | $(GO) run ./cmd/benchjson -baseline $(GATE_BASELINE) > /dev/null
+
+bench-gate-baseline:
+	$(GATE_RUN) | $(GO) run ./cmd/benchjson > $(GATE_BASELINE)
+	@cat $(GATE_BASELINE)
+
+# Heap-profile one benchmark (override PROFILE_BENCH/PROFILE_PKG), then
+# inspect hot allocation sites with:
+#   go tool pprof -top -alloc_objects mem.out
+PROFILE_BENCH ?= CompileUltraSwerv$$
+PROFILE_PKG ?= .
+memprofile:
+	$(GO) run ./cmd/benchjson -drive '$(PROFILE_BENCH)' -pkg $(PROFILE_PKG) -memprofile mem.out > /dev/null
+	@echo "wrote mem.out; try: go tool pprof -top -alloc_objects mem.out"
 
 # Continuous-batching correctness gate: the concurrent /v1/customize hammer
 # must produce byte-identical responses to a batching-disabled server, and

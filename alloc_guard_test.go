@@ -1,0 +1,45 @@
+//go:build !race
+
+package chatls
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// TestInternedReparseAllocGuard pins the parse+elaborate front end's
+// steady-state allocation count on the largest CPU benchmark. The first
+// compile of a design populates the process-wide intern table (net, cell,
+// and port-bit names) and sizes the parser's AST arenas; repeat compiles of
+// the same corpus — the Pass@k serving pattern — must stay under the budget
+// below, which is ~25% above the measured steady state. A regression here
+// usually means a hot path went back to fmt.Sprintf/string concatenation or
+// to per-node allocation. Part of the perf contract (DESIGN.md "Memory and
+// GC discipline"); skipped under -race, which changes allocation counts.
+func TestInternedReparseAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-compile measurement")
+	}
+	d := designs.SweRV()
+	lib := liberty.Nangate45()
+	compile := func() {
+		f, err := verilog.Parse(d.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netlist.Elaborate(f, d.Top, nil, lib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compile() // warm the intern table
+	allocs := testing.AllocsPerRun(5, compile)
+	t.Logf("interned re-parse: %v allocs/op", allocs)
+	const budget = 21000 // measured ~16.6k steady-state
+	if allocs > budget {
+		t.Errorf("interned re-parse allocs/op = %v, budget %d", allocs, budget)
+	}
+}

@@ -7,14 +7,31 @@
 // across the -count repetitions, plus the repetition count. The GOMAXPROCS
 // suffix go appends to parallel-capable benchmarks (Name-8) is stripped so
 // records diff cleanly across machines with different core counts.
+//
+// With -baseline, benchjson additionally gates on allocation regressions:
+// every benchmark present in both the baseline record and the new run is
+// compared on allocs/op, and any regression beyond -threshold percent fails
+// the run (exit 1) with a per-benchmark report on stderr. Allocation counts
+// are deterministic — unlike ns/op they do not wobble with machine load —
+// so the gate is reliable at tight thresholds.
+//
+//	... | benchjson -baseline BENCH_6.json -threshold 20 > /dev/null
+//
+// With -drive, benchjson runs `go test -bench` itself instead of reading
+// stdin, which is the hook for heap profiling a benchmark:
+//
+//	benchjson -drive 'CompileUltraSwerv$' -pkg . -memprofile mem.out > /dev/null
+//	go tool pprof -alloc_objects mem.out
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -114,15 +131,76 @@ func summarize(accums map[string]*accum) map[string]Result {
 	return out
 }
 
+// gate compares allocs/op of every benchmark present in both records and
+// returns the violations: current > baseline * (1 + threshold/100).
+func gate(baseline, current map[string]Result, thresholdPct float64) []string {
+	var bad []string
+	names := make([]string, 0, len(current))
+	for n := range current {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, ok := baseline[n]
+		if !ok || base.AllocsPerOp <= 0 {
+			continue
+		}
+		cur := current[n]
+		limit := base.AllocsPerOp * (1 + thresholdPct/100)
+		if cur.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf(
+				"%s: allocs/op %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+				n, cur.AllocsPerOp, base.AllocsPerOp, thresholdPct, limit))
+		}
+	}
+	return bad
+}
+
+// drive runs `go test -bench` for the given pattern and returns its combined
+// output, forwarding a copy to stderr so failures stay visible.
+func drive(pattern, pkg, memprofile string, count int) ([]byte, error) {
+	args := []string{"test", "-run=^$", "-bench=" + pattern, "-benchmem",
+		"-benchtime=1x", "-count=" + strconv.Itoa(count)}
+	if memprofile != "" {
+		args = append(args, "-memprofile="+memprofile)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	return cmd.Output()
+}
+
+func fail(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"benchjson:"}, args...)...)
+	os.Exit(1)
+}
+
 func main() {
-	accums, err := parse(os.Stdin)
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON record; fail if allocs/op regresses past -threshold")
+		threshold    = flag.Float64("threshold", 20, "allowed allocs/op regression over baseline, percent")
+		drivePattern = flag.String("drive", "", "run `go test -bench` with this pattern instead of reading stdin")
+		pkg          = flag.String("pkg", ".", "package argument for -drive")
+		memprofile   = flag.String("memprofile", "", "with -drive: write the benchmark heap profile here (inspect with go tool pprof)")
+		count        = flag.Int("count", 1, "with -drive: -count repetitions")
+	)
+	flag.Parse()
+
+	input := io.Reader(os.Stdin)
+	if *drivePattern != "" {
+		out, err := drive(*drivePattern, *pkg, *memprofile, *count)
+		if err != nil {
+			fail("drive:", err)
+		}
+		input = strings.NewReader(string(out))
+	}
+
+	accums, err := parse(input)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if len(accums) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fail("no benchmark lines on input")
 	}
 	// Marshal through an ordered structure: encoding/json sorts map keys,
 	// but be explicit so the record is stable for diffing.
@@ -139,7 +217,25 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(ordered); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(err)
+	}
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fail("baseline:", err)
+		}
+		var baseline map[string]Result
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fail("baseline:", err)
+		}
+		if bad := gate(baseline, summary, *threshold); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson: ALLOC REGRESSION:", line)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: alloc gate passed (%d benchmarks vs %s, +%.0f%% allowed)\n",
+			len(summary), *baselinePath, *threshold)
 	}
 }

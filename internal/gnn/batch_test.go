@@ -102,7 +102,9 @@ func TestEmbedBatchEdgeCases(t *testing.T) {
 // TestMergeGraphsShape checks the disjoint-union bookkeeping directly.
 func TestMergeGraphsShape(t *testing.T) {
 	gs := batchFixtures(t)
-	merged, counts := mergeGraphs(gs)
+	sc := mergePool.Get().(*mergeScratch)
+	defer sc.release()
+	merged, counts := sc.merge(gs)
 	if err := merged.Validate(); err != nil {
 		t.Fatalf("merged graph invalid: %v", err)
 	}

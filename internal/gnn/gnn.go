@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -96,11 +97,11 @@ func (m *Model) Config() Config { return m.cfg }
 // bit-identical to the serial one.
 const aggParallelWork = 1 << 17
 
-// aggregate applies the neighbourhood aggregator: out[v] = agg(h[u] for u
-// in N(v)). Isolated nodes aggregate to zero. Large graphs aggregate with
-// output rows sharded across cores; h is only read.
-func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
-	out := tensor.NewMatrix(h.Rows, h.Cols)
+// aggregateInto applies the neighbourhood aggregator: out[v] = agg(h[u] for
+// u in N(v)), writing into out, a zeroed h.Rows×h.Cols matrix. Isolated
+// nodes aggregate to zero. Large graphs aggregate with output rows sharded
+// across cores; h is only read.
+func aggregateInto(out, h *tensor.Matrix, adj [][]int, agg Aggregator) {
 	edges := 0
 	for _, nbrs := range adj {
 		edges += len(nbrs)
@@ -112,6 +113,12 @@ func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
 	} else {
 		aggregateRows(out, h, adj, 0, agg)
 	}
+}
+
+// aggregate is aggregateInto with a freshly allocated output.
+func aggregate(h *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
+	out := tensor.NewMatrix(h.Rows, h.Cols)
+	aggregateInto(out, h, adj, agg)
 	return out
 }
 
@@ -175,7 +182,11 @@ func aggregateT(g *tensor.Matrix, adj [][]int, agg Aggregator) *tensor.Matrix {
 	return out
 }
 
-// forwardState retains intermediates for backprop.
+// forwardState retains intermediates for backprop. States come from a
+// process-wide pool: forward draws one and release returns it with its
+// matrices attached, so steady-state inference reuses the same buffers
+// instead of re-allocating every intermediate per call. A state must not be
+// touched after release.
 type forwardState struct {
 	g       *Graph
 	h0      *tensor.Matrix
@@ -188,25 +199,53 @@ type forwardState struct {
 	modSize []int
 }
 
-// forward computes node, module, and global embeddings.
+var statePool = sync.Pool{New: func() any { return new(forwardState) }}
+
+// release returns the state's buffers to the pool. The graph references are
+// dropped; the matrices stay attached for capacity reuse.
+func (st *forwardState) release() {
+	st.g, st.h0 = nil, nil
+	statePool.Put(st)
+}
+
+// forward computes node, module, and global embeddings. The caller owns the
+// returned state and must release it (after backward on the training path).
 func (m *Model) forward(g *Graph) *forwardState {
-	st := &forwardState{g: g, h0: g.Feats}
-	st.agg0 = aggregate(st.h0, g.Adj, m.cfg.Agg)
-	z1 := tensor.MatMul(st.h0, m.WSelf1)
-	tensor.AddInPlace(z1, tensor.MatMul(st.agg0, m.WNb1))
+	st := statePool.Get().(*forwardState)
+	st.g, st.h0 = g, g.Feats
+	st.agg0 = tensor.EnsureZero(st.agg0, g.Feats.Rows, g.Feats.Cols)
+	aggregateInto(st.agg0, st.h0, g.Adj, m.cfg.Agg)
+	z1 := tensor.EnsureZero(st.h1, st.h0.Rows, m.cfg.Hidden)
+	tensor.MatMulInto(st.h0, m.WSelf1, z1)
+	nb1 := tensor.GetMatrix(st.agg0.Rows, m.cfg.Hidden)
+	tensor.MatMulInto(st.agg0, m.WNb1, nb1)
+	tensor.AddInPlace(z1, nb1)
+	tensor.PutMatrix(nb1)
 	tensor.AddRowVector(z1, m.B1)
-	st.mask1 = tensor.ReLUInPlace(z1)
+	st.mask1 = tensor.ReLUMaskInto(z1, st.mask1)
 	st.h1 = z1
 
-	st.agg1 = aggregate(st.h1, g.Adj, m.cfg.Agg)
-	z2 := tensor.MatMul(st.h1, m.WSelf2)
-	tensor.AddInPlace(z2, tensor.MatMul(st.agg1, m.WNb2))
+	st.agg1 = tensor.EnsureZero(st.agg1, st.h1.Rows, st.h1.Cols)
+	aggregateInto(st.agg1, st.h1, g.Adj, m.cfg.Agg)
+	z2 := tensor.EnsureZero(st.h2, st.h1.Rows, m.cfg.OutDim)
+	tensor.MatMulInto(st.h1, m.WSelf2, z2)
+	nb2 := tensor.GetMatrix(st.agg1.Rows, m.cfg.OutDim)
+	tensor.MatMulInto(st.agg1, m.WNb2, nb2)
+	tensor.AddInPlace(z2, nb2)
+	tensor.PutMatrix(nb2)
 	tensor.AddRowVector(z2, m.B2)
 	st.h2 = z2
 
 	// Hierarchical pooling: module embedding = mean of its node embeddings.
-	st.modules = tensor.NewMatrix(g.NumModule, m.cfg.OutDim)
-	st.modSize = make([]int, g.NumModule)
+	st.modules = tensor.EnsureZero(st.modules, g.NumModule, m.cfg.OutDim)
+	if cap(st.modSize) < g.NumModule {
+		st.modSize = make([]int, g.NumModule)
+	} else {
+		st.modSize = st.modSize[:g.NumModule]
+		for i := range st.modSize {
+			st.modSize[i] = 0
+		}
+	}
 	for v := 0; v < g.Feats.Rows; v++ {
 		mi := g.ModuleOf[v]
 		st.modSize[mi]++
@@ -230,24 +269,48 @@ func (m *Model) forward(g *Graph) *forwardState {
 
 // Embed returns the module embeddings (one row per module) for a graph.
 func (m *Model) Embed(g *Graph) *tensor.Matrix {
-	return m.forward(g).modules.Clone()
+	st := m.forward(g)
+	out := st.modules.Clone()
+	st.release()
+	return out
 }
 
 // EmbedGlobal returns the design-level embedding: the mean of all module
 // embeddings (paper: global pooling so flattened or single-module designs
 // still embed meaningfully).
 func (m *Model) EmbedGlobal(g *Graph) []float64 {
-	mods := m.forward(g).modules
-	rows := make([][]float64, mods.Rows)
-	for i := range rows {
-		rows[i] = mods.Row(i)
-	}
-	return tensor.Mean(rows)
+	st := m.forward(g)
+	out := meanRows(st.modules)
+	st.release()
+	return out
 }
 
 // EmbedNodes returns per-node embeddings.
 func (m *Model) EmbedNodes(g *Graph) *tensor.Matrix {
-	return m.forward(g).h2.Clone()
+	st := m.forward(g)
+	out := st.h2.Clone()
+	st.release()
+	return out
+}
+
+// meanRows returns the column-wise mean of m's rows (nil for zero rows). It
+// accumulates row by row and divides like tensor.Mean over the row views, so
+// the result is bit-identical without materializing the [][]float64.
+func meanRows(m *tensor.Matrix) []float64 {
+	if m.Rows == 0 {
+		return nil
+	}
+	out := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := range row {
+			out[i] += row[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(m.Rows)
+	}
+	return out
 }
 
 // backward propagates module-embedding gradients into parameter gradients.

@@ -110,6 +110,11 @@ func (t *Trainer) Step(batch []Sample) (float64, error) {
 	for i := range batch {
 		t.M.backward(states[i], perSample[i], grads)
 	}
+	// embs rows alias the states' module matrices; the losses above consumed
+	// them, so the states can go back to the pool now.
+	for _, st := range states {
+		st.release()
+	}
 	t.applyAdam(grads)
 	return loss, nil
 }

@@ -1,0 +1,174 @@
+// Package intern provides a process-wide string interning table for the
+// names that flow between the Verilog frontend, the liberty library, the
+// netlist, and the synthesis/STA layers. Elaboration generates the same
+// computed names over and over — "n42", "U17", "busA[3]", "U17/D" — once
+// per elaboration of every design, and the Pass@k and sweep harnesses
+// re-elaborate the same corpus thousands of times per run. Interning turns
+// each repeated name into a single process-lifetime allocation and a
+// zero-allocation map hit thereafter.
+//
+// The table is sharded and safe for concurrent use; elaborations run in
+// parallel during database builds. Lookup keys are composite structs
+// (string, int) so the hit path allocates nothing: the formatted string is
+// only built on a miss.
+//
+// Interned strings live for the life of the process. The table is bounded:
+// each shard stops inserting past a fixed entry count and simply returns
+// freshly built strings, so a hostile workload (fuzzing, unbounded
+// generated names) degrades to the old allocation behaviour instead of
+// growing memory without limit. Callers must never mutate the returned
+// strings (Go strings are immutable; this is only a reminder that the
+// values are shared across goroutines and callers).
+package intern
+
+import (
+	"strconv"
+	"sync"
+)
+
+const (
+	shardCount = 64
+	shardMask  = shardCount - 1
+	// maxShardEntries bounds each shard's maps. 64 shards * 3 maps * 16384
+	// entries caps the table at ~3M strings, far above any corpus need but
+	// finite under adversarial input.
+	maxShardEntries = 16384
+)
+
+type indexKey struct {
+	prefix string
+	i      int
+}
+
+type pairKey struct {
+	a, b string
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	plain   map[string]string
+	index   map[indexKey]string
+	bracket map[indexKey]string
+	pair    map[pairKey]string
+}
+
+var shards [shardCount]*shard
+
+func init() {
+	for i := range shards {
+		shards[i] = &shard{
+			plain:   make(map[string]string),
+			index:   make(map[indexKey]string),
+			bracket: make(map[indexKey]string),
+			pair:    make(map[pairKey]string),
+		}
+	}
+}
+
+// fnv1a hashes a string without allocating.
+func fnv1a(s string, seed uint32) uint32 {
+	h := seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+const fnvOffset = 2166136261
+
+// S returns the canonical interned copy of s. A hit allocates nothing; a
+// miss stores s itself (strings are immutable, so retaining the caller's
+// string is safe).
+func S(s string) string {
+	sh := shards[fnv1a(s, fnvOffset)&shardMask]
+	sh.mu.RLock()
+	v, ok := sh.plain[s]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.plain[s]; ok {
+		return v
+	}
+	if len(sh.plain) >= maxShardEntries {
+		return s
+	}
+	sh.plain[s] = s
+	return s
+}
+
+// Index returns the interned form of prefix + decimal(i), e.g.
+// Index("n", 42) == "n42". The hit path allocates nothing.
+func Index(prefix string, i int) string {
+	sh := shards[(fnv1a(prefix, fnvOffset)^uint32(i)*2654435761)&shardMask]
+	k := indexKey{prefix: prefix, i: i}
+	sh.mu.RLock()
+	v, ok := sh.index[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s := prefix + strconv.Itoa(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.index[k]; ok {
+		return v
+	}
+	if len(sh.index) >= maxShardEntries {
+		return s
+	}
+	sh.index[k] = s
+	return s
+}
+
+// Bracket returns the interned form of name + "[" + decimal(i) + "]", the
+// per-bit port and bus net naming scheme, e.g. Bracket("busA", 3) ==
+// "busA[3]". The hit path allocates nothing.
+func Bracket(name string, i int) string {
+	sh := shards[(fnv1a(name, fnvOffset)^uint32(i)*2654435761^0x9e3779b9)&shardMask]
+	k := indexKey{prefix: name, i: i}
+	sh.mu.RLock()
+	v, ok := sh.bracket[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s := name + "[" + strconv.Itoa(i) + "]"
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.bracket[k]; ok {
+		return v
+	}
+	if len(sh.bracket) >= maxShardEntries {
+		return s
+	}
+	sh.bracket[k] = s
+	return s
+}
+
+// Concat returns the interned form of a + b, e.g. Concat("U17", "/D") ==
+// "U17/D". The hit path allocates nothing.
+func Concat(a, b string) string {
+	sh := shards[fnv1a(b, fnv1a(a, fnvOffset))&shardMask]
+	k := pairKey{a: a, b: b}
+	sh.mu.RLock()
+	v, ok := sh.pair[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s := a + b
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.pair[k]; ok {
+		return v
+	}
+	if len(sh.pair) >= maxShardEntries {
+		return s
+	}
+	sh.pair[k] = s
+	return s
+}

@@ -7,24 +7,40 @@ import "fmt"
 // connection to its class root and rebuilds sink lists, catching multiple
 // drivers and driven constants/inputs along the way.
 type aliaser struct {
-	parent map[*Net]*Net
+	parent []*Net // indexed by Net.ID; nil means the net is its class root
 }
 
-func newAliaser() *aliaser { return &aliaser{parent: make(map[*Net]*Net)} }
+func newAliaser() *aliaser { return &aliaser{} }
+
+func (a *aliaser) parentOf(n *Net) *Net {
+	if n.ID < len(a.parent) {
+		return a.parent[n.ID]
+	}
+	return nil
+}
+
+func (a *aliaser) setParent(n, root *Net) {
+	if n.ID >= len(a.parent) {
+		grown := make([]*Net, n.ID+n.ID/2+16)
+		copy(grown, a.parent)
+		a.parent = grown
+	}
+	a.parent[n.ID] = root
+}
 
 func (a *aliaser) find(n *Net) *Net {
 	root := n
 	for {
-		p, ok := a.parent[root]
-		if !ok {
+		p := a.parentOf(root)
+		if p == nil {
 			break
 		}
 		root = p
 	}
 	// Path compression.
 	for n != root {
-		next := a.parent[n]
-		a.parent[n] = root
+		next := a.parent[n.ID]
+		a.parent[n.ID] = root
 		n = next
 	}
 	return root
@@ -102,7 +118,7 @@ func (a *aliaser) union(x, y *Net) error {
 			rx.Name = ry.Name
 		}
 	}
-	a.parent[ry] = rx
+	a.setParent(ry, rx)
 	return nil
 }
 
@@ -115,6 +131,11 @@ func (el *elab) materialize() error {
 	for _, n := range nl.Nets {
 		n.Sinks = nil
 	}
+	// Pass 1: resolve every cell port to its class root, check driver
+	// legality, and count sinks per root so pass 2 can carve all sink lists
+	// out of one slab instead of growing each with per-pin allocations.
+	sinkCount := make([]int32, nl.nextNet)
+	totalSinks := 0
 	for _, c := range nl.Cells {
 		out := el.al.find(c.Output)
 		if out.Driver != nil && out.Driver != c {
@@ -131,7 +152,8 @@ func (el *elab) materialize() error {
 		for i, in := range c.Inputs {
 			root := el.al.find(in)
 			c.Inputs[i] = root
-			root.Sinks = append(root.Sinks, &Pin{Cell: c, Index: i})
+			sinkCount[root.ID]++
+			totalSinks++
 		}
 		if c.Clock != nil {
 			c.Clock = el.al.find(c.Clock)
@@ -143,14 +165,36 @@ func (el *elab) materialize() error {
 		}
 	}
 
+	// Pass 2: rebuild sink lists in the original append order (cells in
+	// list order, inputs in pin order), filling preallocated slabs.
+	pinSlab := make([]Pin, totalSinks)
+	sinkSlab := make([]*Pin, totalSinks)
+	off := 0
+	for _, n := range nl.Nets {
+		cnt := int(sinkCount[n.ID])
+		if cnt == 0 {
+			continue
+		}
+		n.Sinks = sinkSlab[off:off:off+cnt]
+		off += cnt
+	}
+	pi := 0
+	for _, c := range nl.Cells {
+		for i, in := range c.Inputs {
+			pinSlab[pi] = Pin{Cell: c, Index: i}
+			in.Sinks = append(in.Sinks, &pinSlab[pi])
+			pi++
+		}
+	}
+
 	// Canonicalize output list.
-	seen := make(map[*Net]bool)
+	seen := make([]bool, nl.nextNet)
 	outs := nl.Outputs[:0]
 	for _, o := range nl.Outputs {
 		root := el.al.find(o)
 		root.PO = true
-		if !seen[root] {
-			seen[root] = true
+		if !seen[root.ID] {
+			seen[root.ID] = true
 			outs = append(outs, root)
 		}
 	}
@@ -162,24 +206,24 @@ func (el *elab) materialize() error {
 	}
 
 	// Collect live roots, primary inputs, clock, and reset.
-	live := make(map[*Net]bool)
+	live := make([]bool, nl.nextNet)
 	for _, c := range nl.Cells {
-		live[c.Output] = true
+		live[c.Output.ID] = true
 		for _, in := range c.Inputs {
-			live[in] = true
+			live[in.ID] = true
 		}
 		if c.Clock != nil {
-			live[c.Clock] = true
+			live[c.Clock.ID] = true
 		}
 		if c.Reset != nil {
-			live[c.Reset] = true
+			live[c.Reset.ID] = true
 		}
 	}
 	for _, o := range nl.Outputs {
-		live[o] = true
+		live[o.ID] = true
 	}
 
-	var nets []*Net
+	nets := make([]*Net, 0, len(nl.Nets))
 	for _, n := range nl.Nets {
 		if el.al.find(n) != n {
 			continue
@@ -201,7 +245,7 @@ func (el *elab) materialize() error {
 			nets = append(nets, n)
 			continue
 		}
-		if live[n] {
+		if live[n.ID] {
 			nets = append(nets, n)
 		}
 	}

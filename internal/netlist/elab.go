@@ -3,6 +3,7 @@ package netlist
 import (
 	"fmt"
 
+	"repro/internal/intern"
 	"repro/internal/liberty"
 	"repro/internal/verilog"
 )
@@ -37,7 +38,7 @@ func Elaborate(file *verilog.SourceFile, top string, overrides map[string]int64,
 		for i := range bits {
 			name := p.Name
 			if w > 1 {
-				name = fmt.Sprintf("%s[%d]", p.Name, i)
+				name = intern.Bracket(p.Name, i)
 			}
 			n := el.nl.NewNet(name)
 			bits[i] = n

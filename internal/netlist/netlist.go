@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arena"
+	"repro/internal/intern"
 	"repro/internal/liberty"
 )
 
@@ -84,6 +86,24 @@ type Netlist struct {
 	// incremental update. Delay-only edits (SetRef/Resize) advance gen alone.
 	gen     uint64
 	topoGen uint64
+
+	// Arenas back the nets, cells, and pins created through this netlist's
+	// editing API. Pointers handed out are stable (chunks never move), and
+	// the chunks live exactly as long as the netlist — the same lifetime
+	// per-object allocations had, at a fraction of the GC-visible objects.
+	// Clone() builds its own exact-size slabs and leaves the clone's arenas
+	// empty; post-clone edits fill them on demand.
+	netArena  arena.Arena[Net]
+	cellArena arena.Arena[Cell]
+	pinArena  arena.Arena[Pin]
+}
+
+// newPin carves an input-pin record from the pin arena.
+func (nl *Netlist) newPin(c *Cell, idx int) *Pin {
+	p := nl.pinArena.New()
+	p.Cell = c
+	p.Index = idx
+	return p
 }
 
 // Gen returns the edit generation: it advances on every timing-relevant
@@ -124,9 +144,11 @@ func New(name string, lib *liberty.Library) *Netlist {
 // NewNet allocates a net with an auto-generated or given name.
 func (nl *Netlist) NewNet(name string) *Net {
 	if name == "" {
-		name = fmt.Sprintf("n%d", nl.nextNet)
+		name = intern.Index("n", nl.nextNet)
 	}
-	n := &Net{ID: nl.nextNet, Name: name}
+	n := nl.netArena.New()
+	n.ID = nl.nextNet
+	n.Name = name
 	nl.nextNet++
 	nl.Nets = append(nl.Nets, n)
 	nl.noteTopo()
@@ -149,19 +171,18 @@ func (nl *Netlist) AddCell(ref *liberty.Cell, group, module string, inputs ...*N
 		return nil, fmt.Errorf("cell %s: %d inputs, want %d", ref.Name, len(inputs), want)
 	}
 	out := nl.NewNet("")
-	c := &Cell{
-		ID:     nl.nextCell,
-		Name:   fmt.Sprintf("U%d", nl.nextCell),
-		Ref:    ref,
-		Inputs: inputs,
-		Output: out,
-		Module: module,
-		Group:  group,
-	}
+	c := nl.cellArena.New()
+	c.ID = nl.nextCell
+	c.Name = intern.Index("U", nl.nextCell)
+	c.Ref = ref
+	c.Inputs = inputs
+	c.Output = out
+	c.Module = module
+	c.Group = group
 	nl.nextCell++
 	out.Driver = c
 	for i, in := range inputs {
-		in.Sinks = append(in.Sinks, &Pin{Cell: c, Index: i})
+		in.Sinks = append(in.Sinks, nl.newPin(c, i))
 	}
 	nl.Cells = append(nl.Cells, c)
 	nl.Groups[group]++
@@ -176,7 +197,7 @@ func (nl *Netlist) SetInput(c *Cell, idx int, n *Net) {
 		old.removeSink(c, idx)
 	}
 	c.Inputs[idx] = n
-	n.Sinks = append(n.Sinks, &Pin{Cell: c, Index: idx})
+	n.Sinks = append(n.Sinks, nl.newPin(c, idx))
 	nl.noteTopo()
 }
 
@@ -215,7 +236,7 @@ func (nl *Netlist) ReplaceCell(c *Cell, ref *liberty.Cell, inputs ...*Net) error
 	}
 	c.Inputs = inputs
 	for i, in := range inputs {
-		in.Sinks = append(in.Sinks, &Pin{Cell: c, Index: i})
+		in.Sinks = append(in.Sinks, nl.newPin(c, i))
 	}
 	c.Ref = ref
 	if !ref.Kind.IsSequential() {

@@ -1,0 +1,63 @@
+//go:build !race
+
+package sta_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// TestUpdateAllocGuard pins the incremental timer's delay-only path at zero
+// steady-state allocations: once the worklist heaps have grown to the cone
+// size, resizing a cell and refreshing timing must not allocate. The budget
+// is part of the perf contract (DESIGN.md "Memory and GC discipline");
+// skipped under -race, which changes allocation counts.
+func TestUpdateAllocGuard(t *testing.T) {
+	d := designs.Benchmarks()[0]
+	nl := elaborate(t, d)
+	tm, err := sta.Analyze(nl, eqLib.WireLoad(""), sta.Constraints{Period: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a resizable combinational cell and flip it between two drive
+	// strengths, so every run is a real delay-only edit.
+	var c *netlist.Cell
+	var big *liberty.Cell
+	for _, cand := range nl.Cells {
+		if cand.IsSeq() {
+			continue
+		}
+		if up := nl.Lib.Upsize(cand.Ref); up != nil && up != cand.Ref {
+			c, big = cand, up
+			break
+		}
+	}
+	if c == nil {
+		t.Skip("no resizable cell in design")
+	}
+	refs := [2]*liberty.Cell{big, c.Ref}
+	changed := []*netlist.Cell{c}
+	flip := 0
+	// Warm once so the heaps reach steady-state capacity (AllocsPerRun's
+	// own warm-up run also counts toward this).
+	nl.SetRef(c, refs[flip&1])
+	flip++
+	if err := tm.Update(changed); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		nl.SetRef(c, refs[flip&1])
+		flip++
+		if err := tm.Update(changed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 0
+	if allocs > budget {
+		t.Errorf("delay-only Update allocs/op = %v, budget %d", allocs, budget)
+	}
+}

@@ -17,6 +17,9 @@ import (
 // uses the same float operations in the same order as the full passes and
 // propagation stops on exact equality, the incremental result is
 // bit-identical to a fresh Analyze of the edited netlist.
+//
+// The worklists are heap methods on Timing rather than local closures so a
+// delay-only update runs allocation-free; see the alloc guard tests.
 func (t *Timing) Update(changed []*netlist.Cell) error {
 	nl := t.NL
 	if nl.TopoGen() != t.topoGen {
@@ -30,156 +33,147 @@ func (t *Timing) Update(changed []*netlist.Cell) error {
 		return t.reanalyze()
 	}
 	incrementalUpdates.Add(1)
-	dirty := 0
+	t.dirty = 0
 
 	// Forward: re-propagate arrivals through the fanout cones.
-	fh := cellHeap{pos: t.pos, cells: t.fheap[:0]}
-	pushCell := func(c *netlist.Cell) {
-		if !t.inFQ[c.ID] {
-			t.inFQ[c.ID] = true
-			fh.push(c)
-		}
-	}
-	// seedSource re-evaluates a PI- or flop-driven net whose load changed.
-	seedSource := func(n *netlist.Net) {
-		a, ok := t.sourceArrival(n)
-		if !ok {
-			return // constant or clock/reset: no arrival
-		}
-		dirty++
-		if a != t.arr[n.ID] {
-			t.arr[n.ID] = a
-			t.refreshEndsOnNet(n)
-			for _, p := range n.Sinks {
-				if !p.Cell.IsSeq() {
-					pushCell(p.Cell)
-				}
-			}
-		}
-	}
 	for _, c := range changed {
 		if c.IsSeq() {
 			// New Delay and Setup: output arrival and D-endpoint slack.
-			seedSource(c.Output)
+			t.seedSource(c.Output)
 			t.refreshEndsOnNet(c.Inputs[0])
 		} else {
-			pushCell(c)
+			t.pushFwd(c)
 		}
 		// The swap changed c's InputCap, so each input net's load — and
 		// with it the driving stage's delay — changed too.
 		for _, in := range c.Inputs {
 			if d := in.Driver; d != nil && !d.IsSeq() {
-				pushCell(d)
+				t.pushFwd(d)
 			} else {
-				seedSource(in)
+				t.seedSource(in)
 			}
 		}
 	}
-	for fh.len() > 0 {
-		c := fh.pop()
+	for len(t.fheap) > 0 {
+		c := t.popFwd()
 		t.inFQ[c.ID] = false
-		dirty++
+		t.dirty++
 		a := t.cellArrival(c)
 		if a != t.arr[c.Output.ID] {
 			t.arr[c.Output.ID] = a
 			t.refreshEndsOnNet(c.Output)
 			for _, p := range c.Output.Sinks {
 				if !p.Cell.IsSeq() {
-					pushCell(p.Cell)
+					t.pushFwd(p.Cell)
 				}
 			}
 		}
 	}
-	t.fheap = fh.cells[:0]
 
 	// Backward: re-propagate required times through the fanin cones. Nets
 	// are keyed by their driver's topological position and processed in
 	// decreasing order; PI-/flop-/const-driven nets (key -1) depend only on
 	// keyed nets and absorb changes without propagating further.
-	bh := netHeap{pos: t.pos, items: t.bheap[:0]}
-	pushNet := func(n *netlist.Net) {
-		if !t.inBQ[n.ID] {
-			t.inBQ[n.ID] = true
-			bh.push(n)
-		}
-	}
 	for _, c := range changed {
 		// req of c's inputs depends on c's stage delay (comb) or Setup
 		// (seq); req of the driver's other fanin depends on the driver's
 		// stage delay, which changed with c's InputCap.
 		for _, in := range c.Inputs {
-			pushNet(in)
+			t.pushBwd(in)
 			if d := in.Driver; d != nil && !d.IsSeq() {
 				for _, in2 := range d.Inputs {
-					pushNet(in2)
+					t.pushBwd(in2)
 				}
 			}
 		}
 	}
-	for bh.len() > 0 {
-		n := bh.pop()
+	for len(t.bheap) > 0 {
+		n := t.popBwd()
 		t.inBQ[n.ID] = false
-		dirty++
+		t.dirty++
 		r := t.recomputeReq(n)
 		if r != t.req[n.ID] {
 			t.req[n.ID] = r
 			if d := n.Driver; d != nil && !d.IsSeq() {
 				for _, in := range d.Inputs {
-					pushNet(in)
+					t.pushBwd(in)
 				}
 			}
 		}
 	}
-	t.bheap = bh.items[:0]
 
 	t.gen = nl.Gen()
-	observeDirty(dirty)
+	observeDirty(t.dirty)
 	return nil
 }
 
-// cellHeap is a min-heap of combinational cells ordered by topological
-// position. Positions are unique, so keys never tie.
-type cellHeap struct {
-	pos   []int32
-	cells []*netlist.Cell
-}
-
-func (h *cellHeap) len() int { return len(h.cells) }
-
-func (h *cellHeap) push(c *netlist.Cell) {
-	h.cells = append(h.cells, c)
-	i := len(h.cells) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.pos[h.cells[p].ID] <= h.pos[h.cells[i].ID] {
-			break
+// seedSource re-evaluates a PI- or flop-driven net whose load changed.
+func (t *Timing) seedSource(n *netlist.Net) {
+	a, ok := t.sourceArrival(n)
+	if !ok {
+		return // constant or clock/reset: no arrival
+	}
+	t.dirty++
+	if a != t.arr[n.ID] {
+		t.arr[n.ID] = a
+		t.refreshEndsOnNet(n)
+		for _, p := range n.Sinks {
+			if !p.Cell.IsSeq() {
+				t.pushFwd(p.Cell)
+			}
 		}
-		h.cells[p], h.cells[i] = h.cells[i], h.cells[p]
-		i = p
 	}
 }
 
-func (h *cellHeap) pop() *netlist.Cell {
-	top := h.cells[0]
-	last := len(h.cells) - 1
-	h.cells[0] = h.cells[last]
-	h.cells = h.cells[:last]
+// ----------------------------------------------------------------------------
+// Worklist heaps. t.fheap is a min-heap of combinational cells ordered by
+// topological position (positions are unique, so keys never tie); t.bheap is
+// a max-heap of nets ordered by driver position (-1 for nets without a
+// combinational driver — those are mutually independent, so their pop order
+// does not matter). The inFQ/inBQ flags deduplicate pushes.
+
+func (t *Timing) pushFwd(c *netlist.Cell) {
+	if t.inFQ[c.ID] {
+		return
+	}
+	t.inFQ[c.ID] = true
+	h := append(t.fheap, c)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.pos[h[p].ID] <= t.pos[h[i].ID] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	t.fheap = h
+}
+
+func (t *Timing) popFwd() *netlist.Cell {
+	h := t.fheap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < last && h.pos[h.cells[l].ID] < h.pos[h.cells[m].ID] {
+		if l < last && t.pos[h[l].ID] < t.pos[h[m].ID] {
 			m = l
 		}
-		if r < last && h.pos[h.cells[r].ID] < h.pos[h.cells[m].ID] {
+		if r < last && t.pos[h[r].ID] < t.pos[h[m].ID] {
 			m = r
 		}
 		if m == i {
 			break
 		}
-		h.cells[i], h.cells[m] = h.cells[m], h.cells[i]
+		h[i], h[m] = h[m], h[i]
 		i = m
 	}
+	t.fheap = h
 	return top
 }
 
@@ -188,57 +182,55 @@ type netItem struct {
 	n   *netlist.Net
 }
 
-// netHeap is a max-heap of nets ordered by driver position (-1 for nets
-// without a combinational driver). Nets sharing key -1 are mutually
-// independent, so their pop order does not matter.
-type netHeap struct {
-	pos   []int32
-	items []netItem
-}
-
-func (h *netHeap) len() int { return len(h.items) }
-
-func (h *netHeap) keyOf(n *netlist.Net) int32 {
+func (t *Timing) bwdKeyOf(n *netlist.Net) int32 {
 	if d := n.Driver; d != nil && !d.IsSeq() {
-		return h.pos[d.ID]
+		return t.pos[d.ID]
 	}
 	return -1
 }
 
-func (h *netHeap) push(n *netlist.Net) {
-	h.items = append(h.items, netItem{h.keyOf(n), n})
-	i := len(h.items) - 1
+func (t *Timing) pushBwd(n *netlist.Net) {
+	if t.inBQ[n.ID] {
+		return
+	}
+	t.inBQ[n.ID] = true
+	h := append(t.bheap, netItem{t.bwdKeyOf(n), n})
+	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.items[p].key >= h.items[i].key {
+		if h[p].key >= h[i].key {
 			break
 		}
-		h.items[p], h.items[i] = h.items[i], h.items[p]
+		h[p], h[i] = h[i], h[p]
 		i = p
 	}
+	t.bheap = h
 }
 
-func (h *netHeap) pop() *netlist.Net {
-	top := h.items[0].n
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
+func (t *Timing) popBwd() *netlist.Net {
+	h := t.bheap
+	top := h[0].n
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = netItem{}
+	h = h[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < last && h.items[l].key > h.items[m].key {
+		if l < last && h[l].key > h[m].key {
 			m = l
 		}
-		if r < last && h.items[r].key > h.items[m].key {
+		if r < last && h[r].key > h[m].key {
 			m = r
 		}
 		if m == i {
 			break
 		}
-		h.items[i], h.items[m] = h.items[m], h.items[i]
+		h[i], h[m] = h[m], h[i]
 		i = m
 	}
+	t.bheap = h
 	return top
 }
 

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/intern"
 	"repro/internal/liberty"
 	"repro/internal/netlist"
 )
@@ -61,6 +62,11 @@ type Timing struct {
 	bheap []netItem
 	inFQ  []bool // by Cell.ID: cell is queued forward
 	inBQ  []bool // by Net.ID: net is queued backward
+	dirty int    // nets recomputed by the current Update
+
+	// Levelize scratch, reused across full re-analyses.
+	indeg []int32
+	ready []*netlist.Cell
 
 	// Netlist edit generations this Timing reflects.
 	gen     uint64
@@ -167,12 +173,14 @@ func (t *Timing) stageDelay(c *netlist.Cell) float64 {
 // timing sources and sinks, not ordered. It also records each cell's
 // topological position for the incremental worklists.
 func (t *Timing) levelize() error {
-	indeg := make([]int32, t.NL.CellIDBound())
+	// indeg needs no clearing: every slot read below is assigned in the
+	// first loop first.
+	indeg := growInt32s(t.indeg, t.NL.CellIDBound())
 	for i := range t.pos {
 		t.pos[i] = -1
 	}
 	comb := 0
-	var ready []*netlist.Cell
+	ready := t.ready[:0]
 	for _, c := range t.NL.Cells {
 		if c.IsSeq() {
 			continue
@@ -214,6 +222,8 @@ func (t *Timing) levelize() error {
 		}
 	}
 	t.order = order
+	t.indeg = indeg
+	t.ready = ready[:0]
 	return nil
 }
 
@@ -343,7 +353,7 @@ func (t *Timing) collectEndpoints() {
 		d := c.Inputs[0]
 		arr := t.Arrival(d)
 		t.ends = append(t.ends, Endpoint{
-			Name:    c.Name + "/D",
+			Name:    intern.Concat(c.Name, "/D"),
 			Net:     d,
 			Cell:    c,
 			Arrival: arr,
@@ -521,7 +531,7 @@ func (t *Timing) TracePath(end Endpoint) Path {
 		}
 		rev = append(rev, PathStep{Cell: c, Net: n, Incr: t.stageDelay(c), Arrival: t.Arrival(n)})
 		if c.IsSeq() {
-			p.Startpoint = c.Name + "/CK"
+			p.Startpoint = intern.Concat(c.Name, "/CK")
 			break
 		}
 		// Continue via the input with the latest arrival.

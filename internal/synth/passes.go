@@ -23,8 +23,9 @@ import (
 // number of cells removed or simplified.
 func Sweep(nl *netlist.Netlist) int {
 	total := 0
+	var sc sweepScratch
 	for {
-		n := sweepOnce(nl)
+		n := sweepOnce(nl, &sc)
 		total += n
 		if n == 0 {
 			return total
@@ -32,16 +33,33 @@ func Sweep(nl *netlist.Netlist) int {
 	}
 }
 
-func sweepOnce(nl *netlist.Netlist) int {
+// sweepScratch reuses the snapshot and liveness buffers across the
+// fixed-point iterations of one Sweep call.
+type sweepScratch struct {
+	snapshot []*netlist.Cell
+	alive    []bool // indexed by Cell.ID
+}
+
+func sweepOnce(nl *netlist.Netlist, sc *sweepScratch) int {
 	lib := nl.Lib
 	changed := 0
-	snapshot := append([]*netlist.Cell(nil), nl.Cells...)
-	alive := make(map[*netlist.Cell]bool, len(snapshot))
+	sc.snapshot = append(sc.snapshot[:0], nl.Cells...)
+	snapshot := sc.snapshot
+	bound := nl.CellIDBound()
+	if cap(sc.alive) < bound {
+		sc.alive = make([]bool, bound)
+	} else {
+		sc.alive = sc.alive[:bound]
+		for i := range sc.alive {
+			sc.alive[i] = false
+		}
+	}
+	alive := sc.alive
 	for _, c := range snapshot {
-		alive[c] = true
+		alive[c.ID] = true
 	}
 	for _, c := range snapshot {
-		if !alive[c] || c.Fixed || c.IsSeq() {
+		if !alive[c.ID] || c.Fixed || c.IsSeq() {
 			continue
 		}
 		switch c.Ref.Kind {
@@ -60,7 +78,7 @@ func sweepOnce(nl *netlist.Netlist) int {
 			}
 			nl.ReplaceNet(c.Output, in)
 			nl.RemoveCell(c)
-			alive[c] = false
+			alive[c.ID] = false
 			changed++
 
 		case liberty.KindInv:
@@ -82,7 +100,7 @@ func sweepOnce(nl *netlist.Netlist) int {
 			}
 			nl.ReplaceNet(c.Output, d.Inputs[0])
 			nl.RemoveCell(c)
-			alive[c] = false
+			alive[c.ID] = false
 			changed++
 
 		case liberty.KindAnd2, liberty.KindOr2, liberty.KindNand2, liberty.KindNor2,
@@ -90,7 +108,7 @@ func sweepOnce(nl *netlist.Netlist) int {
 			if n := foldConst2(nl, c); n > 0 {
 				changed += n
 				if c.Output.Driver != c {
-					alive[c] = false
+					alive[c.ID] = false
 				}
 			}
 
@@ -109,13 +127,14 @@ func sweepOnce(nl *netlist.Netlist) int {
 			if keep != nil {
 				changed += passthrough(nl, c, keep)
 				if c.Output.Driver != c {
-					alive[c] = false
+					alive[c.ID] = false
 				}
 			}
 		}
 	}
-	// Dangling removal.
-	for _, c := range append([]*netlist.Cell(nil), nl.Cells...) {
+	// Dangling removal. The first snapshot is no longer needed; reuse it.
+	sc.snapshot = append(sc.snapshot[:0], nl.Cells...)
+	for _, c := range sc.snapshot {
 		if c.Fixed || c.IsSeq() {
 			continue
 		}
@@ -258,15 +277,17 @@ func passthrough(nl *netlist.Netlist, c *netlist.Cell, keep *netlist.Net) int {
 // Restructure merges gate/inverter pairs into complex cells: AND2+INV ->
 // NAND2, OR2+INV -> NOR2, XOR2+INV -> XNOR2, NAND2+INV -> AND2, NOR2+INV ->
 // OR2. Only single-fanout pairs within one group are merged.
+var restructureMerge = map[liberty.Kind]liberty.Kind{
+	liberty.KindAnd2:  liberty.KindNand2,
+	liberty.KindOr2:   liberty.KindNor2,
+	liberty.KindXor2:  liberty.KindXnor2,
+	liberty.KindNand2: liberty.KindAnd2,
+	liberty.KindNor2:  liberty.KindOr2,
+	liberty.KindXnor2: liberty.KindXor2,
+}
+
 func Restructure(nl *netlist.Netlist) int {
-	merge := map[liberty.Kind]liberty.Kind{
-		liberty.KindAnd2:  liberty.KindNand2,
-		liberty.KindOr2:   liberty.KindNor2,
-		liberty.KindXor2:  liberty.KindXnor2,
-		liberty.KindNand2: liberty.KindAnd2,
-		liberty.KindNor2:  liberty.KindOr2,
-		liberty.KindXnor2: liberty.KindXor2,
-	}
+	merge := restructureMerge
 	changed := 0
 	snapshot := append([]*netlist.Cell(nil), nl.Cells...)
 	for _, inv := range snapshot {
@@ -316,17 +337,21 @@ var assocKinds = map[liberty.Kind]bool{
 // only collected within one optimization group.
 func BalanceTrees(nl *netlist.Netlist) int {
 	changed := 0
-	inTree := make(map[*netlist.Cell]bool)
+	// Snapshot cells all have IDs below the starting bound; cells AddCell
+	// creates during rebalancing are never roots, so they need no liveness
+	// bit and the slice never has to grow.
+	inTree := make([]bool, nl.CellIDBound())
 	snapshot := append([]*netlist.Cell(nil), nl.Cells...)
+	var sc chainScratch
 	for _, root := range snapshot {
-		if inTree[root] || root.Fixed || !assocKinds[root.Ref.Kind] {
+		if inTree[root.ID] || root.Fixed || !assocKinds[root.Ref.Kind] {
 			continue
 		}
 		// Roots are chain cells not absorbed into a larger same-kind chain.
 		if up := soleSameKindSink(root); up != nil && sameGroup(root, up) && !up.Fixed {
 			continue
 		}
-		leaves, internals, depth := collectChain(root)
+		leaves, internals, depth := collectChain(root, &sc)
 		if len(leaves) < 4 {
 			continue
 		}
@@ -353,7 +378,9 @@ func BalanceTrees(nl *netlist.Netlist) int {
 		nl.SetInput(root, 0, level[0])
 		nl.SetInput(root, 1, level[1])
 		for _, c := range internals {
-			inTree[c] = true
+			if c.ID < len(inTree) {
+				inTree[c.ID] = true
+			}
 			nl.RemoveCell(c)
 		}
 		changed++
@@ -372,29 +399,52 @@ func soleSameKindSink(c *netlist.Cell) *netlist.Cell {
 	return nil
 }
 
+// chainScratch reuses collectChain's work slices across the roots of one
+// BalanceTrees pass. Each call's results overwrite the previous call's.
+type chainScratch struct {
+	leaves    []*netlist.Net
+	internals []*netlist.Cell
+	stack     []chainFrame
+}
+
+type chainFrame struct {
+	c *netlist.Cell
+	i int // next input index to examine
+	d int // depth of c within the chain
+}
+
 // collectChain gathers the leaf nets of a same-kind gate tree rooted at
 // root, along with the internal cells (excluding root) and the tree depth.
-func collectChain(root *netlist.Cell) (leaves []*netlist.Net, internals []*netlist.Cell, depth int) {
-	var walk func(c *netlist.Cell, d int)
-	walk = func(c *netlist.Cell, d int) {
-		if d > depth {
-			depth = d
+// The walk is an explicit-stack preorder traversal matching the recursive
+// formulation exactly (same leaf and internal order), without the per-root
+// closure and stack-frame allocations.
+func collectChain(root *netlist.Cell, sc *chainScratch) (leaves []*netlist.Net, internals []*netlist.Cell, depth int) {
+	sc.leaves = sc.leaves[:0]
+	sc.internals = sc.internals[:0]
+	sc.stack = append(sc.stack[:0], chainFrame{c: root, d: 1})
+	for len(sc.stack) > 0 {
+		f := &sc.stack[len(sc.stack)-1]
+		if f.d > depth {
+			depth = f.d
 		}
-		for _, in := range c.Inputs {
-			drv := in.Driver
-			if drv != nil && drv != root && !drv.Fixed &&
-				drv.Ref.Kind == root.Ref.Kind &&
-				sameGroup(drv, root) &&
-				len(drv.Output.Sinks) == 1 && !drv.Output.PO {
-				internals = append(internals, drv)
-				walk(drv, d+1)
-				continue
-			}
-			leaves = append(leaves, in)
+		if f.i >= len(f.c.Inputs) {
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			continue
 		}
+		in := f.c.Inputs[f.i]
+		f.i++
+		drv := in.Driver
+		if drv != nil && drv != root && !drv.Fixed &&
+			drv.Ref.Kind == root.Ref.Kind &&
+			sameGroup(drv, root) &&
+			len(drv.Output.Sinks) == 1 && !drv.Output.PO {
+			sc.internals = append(sc.internals, drv)
+			sc.stack = append(sc.stack, chainFrame{c: drv, d: f.d + 1})
+			continue
+		}
+		sc.leaves = append(sc.leaves, in)
 	}
-	walk(root, 1)
-	return leaves, internals, depth
+	return sc.leaves, sc.internals, depth
 }
 
 // SizeOptions tunes the sizing pass. Effort levels map to how many

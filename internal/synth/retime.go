@@ -31,6 +31,9 @@ func RetimeWith(tm *sta.Timing, maxMoves int) int {
 	const margin = 0.02
 	moves := 0
 	prevWNS := math.Inf(-1)
+	var sc retimeScratch
+	var present []bool // indexed by Cell.ID; rebuilt each sweep
+	var fwdFlops []*netlist.Cell
 	for moves < maxMoves {
 		if err := tm.Update(nil); err != nil {
 			return moves
@@ -48,10 +51,22 @@ func RetimeWith(tm *sta.Timing, maxMoves int) int {
 		// One sweep: try a move at every violating endpoint using this
 		// timing snapshot, then re-analyze. Flops consumed by earlier moves
 		// in the sweep are skipped.
-		present := make(map[*netlist.Cell]bool, len(nl.Cells))
-		for _, c := range nl.Cells {
-			present[c] = true
+		// Flops AddCell creates mid-sweep get IDs at or above this bound;
+		// inSweep treats them as absent, exactly as the sweep's starting
+		// snapshot would.
+		bound := nl.CellIDBound()
+		if cap(present) < bound {
+			present = make([]bool, bound)
+		} else {
+			present = present[:bound]
+			for i := range present {
+				present[i] = false
+			}
 		}
+		for _, c := range nl.Cells {
+			present[c.ID] = true
+		}
+		inSweep := func(c *netlist.Cell) bool { return c.ID < bound && present[c.ID] }
 		applied := 0
 		for _, end := range tm.Endpoints() {
 			if end.Slack >= 0 {
@@ -61,12 +76,14 @@ func RetimeWith(tm *sta.Timing, maxMoves int) int {
 				break
 			}
 			if end.Cell != nil {
-				if !present[end.Cell] {
+				if !inSweep(end.Cell) {
 					continue
 				}
-				if removed := retimeBackward(nl, tm, end.Cell, margin); removed != nil {
+				if removed := retimeBackward(nl, tm, end.Cell, margin, &sc); removed != nil {
 					for _, f := range removed {
-						delete(present, f)
+						if f.ID < bound {
+							present[f.ID] = false
+						}
 					}
 					applied++
 					continue
@@ -76,22 +93,24 @@ func RetimeWith(tm *sta.Timing, maxMoves int) int {
 			path := tm.TracePath(end)
 			if len(path.Steps) > 0 {
 				first := path.Steps[0]
-				if first.Cell != nil && first.Cell.IsSeq() && present[first.Cell] {
+				if first.Cell != nil && first.Cell.IsSeq() && inSweep(first.Cell) {
 					if g := soleCombSink(first.Cell.Output); g != nil && !g.IsSeq() {
 						// Capture the feeding flops before the move rewires g.
-						var flops []*netlist.Cell
+						fwdFlops = fwdFlops[:0]
 						okAll := true
 						for _, in := range g.Inputs {
 							f := in.Driver
-							if f == nil || !f.IsSeq() || !present[f] {
+							if f == nil || !f.IsSeq() || !inSweep(f) {
 								okAll = false
 								break
 							}
-							flops = append(flops, f)
+							fwdFlops = append(fwdFlops, f)
 						}
-						if okAll && retimeForward(nl, tm, g, margin) {
-							for _, f := range flops {
-								delete(present, f)
+						if okAll && retimeForward(nl, tm, g, margin, &sc) {
+							for _, f := range fwdFlops {
+								if f.ID < bound {
+									present[f.ID] = false
+								}
 							}
 							applied++
 						}
@@ -126,7 +145,7 @@ func soleCombSink(n *netlist.Net) *netlist.Cell {
 // identical flop (the common case is exactly one), and profitable when the
 // downstream stage of each can absorb g's delay. It returns the flops
 // removed, or nil when no move was made.
-func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin float64) []*netlist.Cell {
+func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin float64, sc *retimeScratch) []*netlist.Cell {
 	if f.Fixed {
 		return nil
 	}
@@ -138,8 +157,10 @@ func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin
 	if !sameGroup(f, g) {
 		return nil
 	}
-	// Every sink of g must be a flop compatible with f.
-	var flops []*netlist.Cell
+	// Every sink of g must be a flop compatible with f. The scratch slice
+	// is valid until the next retimeBackward call; the caller consumes it
+	// immediately.
+	sc.flops = sc.flops[:0]
 	for _, p := range d.Sinks {
 		s := p.Cell
 		if !s.IsSeq() || s.Fixed || s.Ref != f.Ref || s.Clock != f.Clock || s.Reset != f.Reset {
@@ -149,8 +170,9 @@ func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin
 			// Merging would alias two output ports onto one net.
 			return nil
 		}
-		flops = append(flops, s)
+		sc.flops = append(sc.flops, s)
 	}
+	flops := sc.flops
 	if len(flops) == 0 {
 		return nil
 	}
@@ -195,11 +217,11 @@ func retimeBackward(nl *netlist.Netlist, tm *sta.Timing, f *netlist.Cell, margin
 //
 // legal when every input of g comes from a single-fanout flop and
 // profitable when the upstream stage can absorb g's delay.
-func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin float64) bool {
+func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin float64, sc *retimeScratch) bool {
 	if g.Fixed || g.IsSeq() || len(g.Inputs) == 0 || g.Output.PO {
 		return false
 	}
-	var flops []*netlist.Cell
+	sc.flops = sc.flops[:0]
 	for _, in := range g.Inputs {
 		f := in.Driver
 		if f == nil || !f.IsSeq() || f.Fixed || in.PO || len(in.Sinks) != 1 {
@@ -208,8 +230,9 @@ func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin 
 		if !sameGroup(f, g) {
 			return false
 		}
-		flops = append(flops, f)
+		sc.flops = append(sc.flops, f)
 	}
+	flops := sc.flops
 	// All flops must share clock/reset.
 	for _, f := range flops[1:] {
 		if f.Clock != flops[0].Clock || f.Reset != flops[0].Reset {
@@ -230,7 +253,8 @@ func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin 
 	}
 	// New flop after g: old downstream sinks of g move to the new flop's Q.
 	q := g.Output
-	sinks := append([]*netlist.Pin(nil), q.Sinks...)
+	sc.sinks = append(sc.sinks[:0], q.Sinks...)
+	sinks := sc.sinks
 	nf, err := nl.AddCell(proto.Ref, g.Group, g.Module, q)
 	if err != nil {
 		return false
@@ -244,6 +268,13 @@ func retimeForward(nl *netlist.Netlist, tm *sta.Timing, g *netlist.Cell, margin 
 		nl.RemoveCell(f)
 	}
 	return true
+}
+
+// retimeScratch reuses the per-endpoint work slices across one retiming
+// sweep; each call's contents are consumed before the next call.
+type retimeScratch struct {
+	flops []*netlist.Cell
+	sinks []*netlist.Pin
 }
 
 func stageDelayOf(tm *sta.Timing, c *netlist.Cell) float64 {

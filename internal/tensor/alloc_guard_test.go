@@ -1,0 +1,43 @@
+//go:build !race
+
+package tensor
+
+import "testing"
+
+// Alloc guards: these budgets are part of the perf contract (see DESIGN.md
+// "Memory and GC discipline"). allocs-per-op is deterministic, so the guards
+// are exact ceilings, not flaky statistical bounds. They are skipped under
+// -race, where the runtime's instrumentation changes allocation counts.
+
+// TestMatMulAllocGuard pins the serial MatMul at its two structural
+// allocations (the Matrix header and its Data slab).
+func TestMatMulAllocGuard(t *testing.T) {
+	a := randomMatrix(24, 24, 1)
+	b := randomMatrix(24, 24, 2)
+	allocs := testing.AllocsPerRun(50, func() {
+		if out := MatMul(a, b); out.Rows != 24 {
+			t.Fatal("wrong shape")
+		}
+	})
+	const budget = 2
+	if allocs > budget {
+		t.Errorf("MatMul allocs/op = %v, budget %d", allocs, budget)
+	}
+}
+
+// TestMatMulIntoPooledAllocGuard pins the pooled scratch path — the shape
+// the GNN forward pass uses for its neighbour-term intermediates — at zero
+// steady-state allocations.
+func TestMatMulIntoPooledAllocGuard(t *testing.T) {
+	a := randomMatrix(24, 24, 1)
+	b := randomMatrix(24, 24, 2)
+	allocs := testing.AllocsPerRun(50, func() {
+		out := GetMatrix(24, 24)
+		MatMulInto(a, b, out)
+		PutMatrix(out)
+	})
+	const budget = 0
+	if allocs > budget {
+		t.Errorf("pooled MatMulInto allocs/op = %v, budget %d", allocs, budget)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"repro/internal/workpool"
 )
@@ -57,6 +58,52 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// Ensure returns a rows×cols matrix reusing m's backing array when it is
+// large enough (m may be nil). Contents are unspecified; use EnsureZero when
+// the caller accumulates into the result.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	return m
+}
+
+// EnsureZero is Ensure plus clearing: the result is a zero matrix.
+func EnsureZero(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	out := Ensure(m, rows, cols)
+	if out == m {
+		for i := 0; i < n; i++ {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// matrixPool recycles scratch matrices for transient kernel intermediates
+// (e.g. the neighbour-term product inside a GraphSAGE layer). Get hands out
+// a zeroed matrix; Put must only be called once the caller holds no views of
+// the matrix's Data.
+var matrixPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// GetMatrix returns a zeroed rows×cols matrix drawn from the process-wide
+// scratch pool. Pair with PutMatrix on every path once the values have been
+// consumed; a matrix that is never Put is merely garbage, not a leak.
+func GetMatrix(rows, cols int) *Matrix {
+	m := matrixPool.Get().(*Matrix)
+	return EnsureZero(m, rows, cols)
+}
+
+// PutMatrix returns a matrix obtained from GetMatrix to the scratch pool.
+func PutMatrix(m *Matrix) {
+	if m != nil {
+		matrixPool.Put(m)
+	}
+}
+
 // parallelFlops is the work size (multiply-adds) above which the row-sharded
 // kernels fan out across cores. Each output row is produced entirely by one
 // goroutine with the serial loop order, so the parallel path is bit-identical
@@ -88,16 +135,26 @@ func ParallelRows(rows int, fn func(lo, hi int)) {
 
 // MatMul returns a*b.
 func MatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a*b into out, which must be a zeroed a.Rows×b.Cols
+// matrix (GetMatrix/EnsureZero provide one). Same kernels and loop order as
+// MatMul, so the result is bit-identical.
+func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matmul shape mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("matmul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
 	if a.Rows*a.Cols*b.Cols >= parallelFlops && runtime.GOMAXPROCS(0) > 1 {
 		ParallelRows(a.Rows, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
 	} else {
 		matMulRows(a, b, out, 0, a.Rows)
 	}
-	return out
 }
 
 // matMulRows computes out rows [lo, hi) in ikj order: the i-th output row is
@@ -247,11 +304,21 @@ func AddRowVector(m *Matrix, v []float64) {
 
 // ReLUInPlace applies max(0, x) in place and returns the activation mask.
 func ReLUInPlace(m *Matrix) []bool {
-	mask := make([]bool, len(m.Data))
+	return ReLUMaskInto(m, nil)
+}
+
+// ReLUMaskInto is ReLUInPlace reusing mask's capacity for the returned
+// activation mask (mask may be nil).
+func ReLUMaskInto(m *Matrix, mask []bool) []bool {
+	if cap(mask) < len(m.Data) {
+		mask = make([]bool, len(m.Data))
+	}
+	mask = mask[:len(m.Data)]
 	for i, v := range m.Data {
 		if v > 0 {
 			mask[i] = true
 		} else {
+			mask[i] = false
 			m.Data[i] = 0
 		}
 	}

@@ -1,0 +1,36 @@
+//go:build !race
+
+package vecindex
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHNSWSearchAllocGuard pins the pooled search path: once the scratch
+// pool is warm, a query allocates only the normalized query copy and the
+// returned hit slice — not the visited set or the beam heaps. The budget is
+// part of the perf contract (DESIGN.md "Memory and GC discipline"); skipped
+// under -race, which changes allocation counts.
+func TestHNSWSearchAllocGuard(t *testing.T) {
+	const n, dim = 2000, 16
+	h := NewHNSW(dim, Cosine, HNSWConfig{Seed: 7})
+	for i, v := range randCorpus(n, dim, 42) {
+		if err := h.Add(fmt.Sprintf("v%04d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := randCorpus(16, dim, 77)
+	qi := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		if hits := h.Search(qs[qi%len(qs)], 10); len(hits) != 10 {
+			t.Fatalf("got %d hits", len(hits))
+		}
+		qi++
+	})
+	t.Logf("HNSW Search: %v allocs/op", allocs)
+	const budget = 6
+	if allocs > budget {
+		t.Errorf("HNSW Search allocs/op = %v, budget %d", allocs, budget)
+	}
+}

@@ -1,10 +1,10 @@
 package vecindex
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/tensor"
@@ -155,6 +155,8 @@ func (h *HNSW) Add(id string, vec []float64) error {
 		return nil
 	}
 
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
 	hops := 0
 	ep := h.entry
 	for lc := h.maxLevel; lc > level; lc-- {
@@ -165,7 +167,7 @@ func (h *HNSW) Add(id string, vec []float64) error {
 		top = h.maxLevel
 	}
 	for lc := top; lc >= 0; lc-- {
-		cands := h.searchLayer(key, ep, h.cfg.EfConstruction, lc, &hops)
+		cands := h.searchLayer(key, ep, h.cfg.EfConstruction, lc, &hops, sc)
 		mmax := h.cfg.M
 		if lc == 0 {
 			mmax = 2 * h.cfg.M
@@ -180,7 +182,7 @@ func (h *HNSW) Add(id string, vec []float64) error {
 		}
 		h.nodes[idx].links[lc] = links
 		for _, u := range links {
-			h.linkBack(u, idx, lc, mmax)
+			h.linkBack(u, idx, lc, mmax, sc)
 		}
 		if len(cands) > 0 {
 			ep = cands[0].n
@@ -196,11 +198,14 @@ func (h *HNSW) Add(id string, vec []float64) error {
 
 // linkBack adds v to u's layer-lc neighbour list, keeping only the mmax
 // closest (ties by insertion index) when the list overflows.
-func (h *HNSW) linkBack(u, v int32, lc, mmax int) {
+func (h *HNSW) linkBack(u, v int32, lc, mmax int, sc *searchScratch) {
 	links := append(h.nodes[u].links[lc], v)
 	if len(links) > mmax {
 		ukey := h.nodes[u].key
-		ds := make([]distNode, len(links))
+		if cap(sc.links) < len(links) {
+			sc.links = make([]distNode, 0, 2*len(links))
+		}
+		ds := sc.links[:len(links)]
 		for i, w := range links {
 			ds[i] = distNode{d: h.dist(ukey, w), n: w}
 		}
@@ -256,56 +261,161 @@ func sortDistNodes(ds []distNode) {
 	}
 }
 
-// candHeap is a min-heap of frontier nodes (closest first).
+// candHeap is a min-heap of frontier nodes (closest first). The heap ops are
+// hand-rolled on the concrete element type: container/heap would box every
+// distNode through an interface, allocating on each push. The popped-value
+// sequence of any binary heap over unique (distance, index) keys is the
+// same, so the search is unaffected by the swap.
 type candHeap []distNode
 
-func (h candHeap) Len() int           { return len(h) }
-func (h candHeap) Less(i, j int) bool { return h[i].less(h[j]) }
-func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)        { *h = append(*h, x.(distNode)) }
-func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *candHeap) push(x distNode) {
+	s := append(*h, x)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].less(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *candHeap) pop() distNode {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && s[l].less(s[m]) {
+			m = l
+		}
+		if r < last && s[r].less(s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
 
 // resultHeap is a max-heap of the ef best so far (worst first, for cheap
 // eviction).
 type resultHeap []distNode
 
-func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return h[j].less(h[i]) }
-func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)        { *h = append(*h, x.(distNode)) }
-func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *resultHeap) push(x distNode) {
+	s := append(*h, x)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[p].less(s[i]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *resultHeap) pop() distNode {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && s[m].less(s[l]) {
+			m = l
+		}
+		if r < last && s[m].less(s[r]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
+
+// searchScratch is the per-search working set, pooled so concurrent
+// searches neither race on it nor allocate it fresh. The visited set is
+// epoch-stamped: bumping the epoch invalidates every mark from earlier
+// searches without touching the array, so a search over an N-node graph
+// clears nothing on the hot path.
+type searchScratch struct {
+	visited []uint32
+	epoch   uint32
+	cand    candHeap
+	res     resultHeap
+	links   []distNode // linkBack's overflow sorting buffer
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// begin readies the scratch for one searchLayer pass over n nodes.
+func (sc *searchScratch) begin(n int) {
+	if cap(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.visited = sc.visited[:n]
+	sc.epoch++
+	if sc.epoch == 0 { // epoch wrapped: stale marks could collide, clear
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.cand = sc.cand[:0]
+	sc.res = sc.res[:0]
+}
 
 // searchLayer runs the beam search of the HNSW paper on one layer,
 // returning the ef closest reachable nodes sorted ascending by (distance,
-// index).
-func (h *HNSW) searchLayer(qkey []float64, ep int32, ef, lc int, hops *int) []distNode {
-	visited := make([]bool, len(h.nodes))
-	visited[ep] = true
+// index). The result aliases sc and is valid until sc's next use.
+func (h *HNSW) searchLayer(qkey []float64, ep int32, ef, lc int, hops *int, sc *searchScratch) []distNode {
+	sc.begin(len(h.nodes))
+	sc.visited[ep] = sc.epoch
 	d0 := distNode{d: h.dist(qkey, ep), n: ep}
-	cand := candHeap{d0}
-	res := resultHeap{d0}
-	for len(cand) > 0 {
-		c := heap.Pop(&cand).(distNode)
-		if len(res) >= ef && res[0].d < c.d {
+	sc.cand.push(d0)
+	sc.res.push(d0)
+	for len(sc.cand) > 0 {
+		c := sc.cand.pop()
+		if len(sc.res) >= ef && sc.res[0].d < c.d {
 			break // the frontier is farther than the worst kept result
 		}
 		for _, u := range h.nodes[c.n].links[lc] {
-			if visited[u] {
+			if sc.visited[u] == sc.epoch {
 				continue
 			}
-			visited[u] = true
+			sc.visited[u] = sc.epoch
 			*hops++
 			d := h.dist(qkey, u)
-			if len(res) < ef || d < res[0].d || (d == res[0].d && u < res[0].n) {
-				heap.Push(&cand, distNode{d: d, n: u})
-				heap.Push(&res, distNode{d: d, n: u})
-				if len(res) > ef {
-					heap.Pop(&res)
+			if len(sc.res) < ef || d < sc.res[0].d || (d == sc.res[0].d && u < sc.res[0].n) {
+				sc.cand.push(distNode{d: d, n: u})
+				sc.res.push(distNode{d: d, n: u})
+				if len(sc.res) > ef {
+					sc.res.pop()
 				}
 			}
 		}
 	}
-	out := []distNode(res)
+	out := []distNode(sc.res)
 	sortDistNodes(out)
 	return out
 }
@@ -324,6 +434,7 @@ func (h *HNSW) Search(query []float64, k int) []Hit {
 	if h.Metric == Cosine {
 		qkey = tensor.Normalize(query)
 	}
+	sc := searchPool.Get().(*searchScratch)
 	hops := 0
 	ep := h.entry
 	for lc := h.maxLevel; lc > 0; lc-- {
@@ -333,7 +444,7 @@ func (h *HNSW) Search(query []float64, k int) []Hit {
 	if ef < k {
 		ef = k
 	}
-	cands := h.searchLayer(qkey, ep, ef, 0, &hops)
+	cands := h.searchLayer(qkey, ep, ef, 0, &hops, sc)
 	hnswHopsTotal.Add(int64(hops))
 	if k < len(cands) {
 		cands = cands[:k]
@@ -343,6 +454,7 @@ func (h *HNSW) Search(query []float64, k int) []Hit {
 		n := h.nodes[c.n]
 		hits[i] = Hit{ID: n.id, Score: score(h.Metric, query, n.vec)}
 	}
+	searchPool.Put(sc)
 	sortHits(hits)
 	return hits
 }

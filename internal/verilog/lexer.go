@@ -163,8 +163,12 @@ func (lx *lexer) next() (token, error) {
 				return token{kind: tokPunct, text: mp, pos: pos}, nil
 			}
 		}
+		// Slice the source rather than string(c): the one-byte substring
+		// shares src's backing array (which the AST retains anyway) instead
+		// of allocating a fresh string per punctuation token.
+		text := lx.src[lx.off : lx.off+1]
 		lx.advance(1)
-		return token{kind: tokPunct, text: string(c), pos: pos}, nil
+		return token{kind: tokPunct, text: text, pos: pos}, nil
 	}
 }
 

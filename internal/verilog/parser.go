@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/arena"
 	"repro/internal/inputlimits"
 )
 
@@ -62,6 +63,21 @@ type parser struct {
 	// lineStart[i] is the byte offset of line i+1; built lazily so module
 	// source capture is O(1) per module instead of rescanning the file.
 	lineStart []int
+
+	// Typed arenas for the hot expression and declaration nodes. A large
+	// design allocates hundreds of thousands of AST nodes; carving them from
+	// chunks cuts that to a few hundred allocations. The nodes' lifetime is
+	// unchanged: a Module retains essentially every node parsed for it, so
+	// the chunks were going to stay reachable either way.
+	idents   arena.Arena[Ident]
+	numbers  arena.Arena[Number]
+	binaries arena.Arena[Binary]
+	unaries  arena.Arena[Unary]
+	ternarys arena.Arena[Ternary]
+	indexes  arena.Arena[Index]
+	slices   arena.Arena[Slice]
+	ranges   arena.Arena[Range]
+	ports    arena.Arena[Port]
 }
 
 func (p *parser) advance() error {
@@ -308,7 +324,9 @@ func (p *parser) parseANSIPortGroup() ([]*Port, error) {
 		if err != nil {
 			return nil, err
 		}
-		ports = append(ports, &Port{Name: name, Dir: dir, Range: rng, Reg: isReg, Pos: pos})
+		pt := p.ports.New()
+		*pt = Port{Name: name, Dir: dir, Range: rng, Reg: isReg, Pos: pos}
+		ports = append(ports, pt)
 		// Continue only if the next token is "," followed by an identifier
 		// (same group). A "," followed by a keyword starts a new group and
 		// is handled by the caller.
@@ -350,7 +368,9 @@ func (p *parser) parseOptRange() (*Range, error) {
 	if err := p.expectPunct("]"); err != nil {
 		return nil, err
 	}
-	return &Range{MSB: msb, LSB: lsb}, nil
+	r := p.ranges.New()
+	r.MSB, r.LSB = msb, lsb
+	return r, nil
 }
 
 // parseItem parses one module body item. It returns classic-style port
@@ -392,7 +412,9 @@ func (p *parser) parseItem() (Item, []*Port, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			ports = append(ports, &Port{Name: name, Dir: dir, Range: rng, Reg: isReg, Pos: pos})
+			pt := p.ports.New()
+			*pt = Port{Name: name, Dir: dir, Range: rng, Reg: isReg, Pos: pos}
+			ports = append(ports, pt)
 			if p.isPunct(",") {
 				if err := p.advance(); err != nil {
 					return nil, nil, err
@@ -814,7 +836,9 @@ func (p *parser) parseTernary() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ternary{Cond: cond, T: t, F: f, Pos: pos}, nil
+	tn := p.ternarys.New()
+	*tn = Ternary{Cond: cond, T: t, F: f, Pos: pos}
+	return tn, nil
 }
 
 func (p *parser) parseBinary(minPrec int) (Expr, error) {
@@ -839,7 +863,9 @@ func (p *parser) parseBinary(minPrec int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &Binary{Op: op, L: left, R: right, Pos: pos}
+		b := p.binaries.New()
+		*b = Binary{Op: op, L: left, R: right, Pos: pos}
+		left = b
 	}
 }
 
@@ -867,7 +893,9 @@ func (p *parser) parseUnary() (Expr, error) {
 		if op == "+" {
 			return x, nil
 		}
-		return &Unary{Op: op, X: x, Pos: pos}, nil
+		u := p.unaries.New()
+		*u = Unary{Op: op, X: x, Pos: pos}
+		return u, nil
 	}
 	return p.parsePostfix()
 }
@@ -897,12 +925,16 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if err := p.expectPunct("]"); err != nil {
 				return nil, err
 			}
-			e = &Slice{X: e, MSB: first, LSB: lsb, Pos: pos}
+			s := p.slices.New()
+			*s = Slice{X: e, MSB: first, LSB: lsb, Pos: pos}
+			e = s
 		} else {
 			if err := p.expectPunct("]"); err != nil {
 				return nil, err
 			}
-			e = &Index{X: e, I: first, Pos: pos}
+			ix := p.indexes.New()
+			*ix = Index{X: e, I: first, Pos: pos}
+			e = ix
 		}
 	}
 	return e, nil
@@ -916,14 +948,20 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return &Ident{Name: name, Pos: pos}, nil
+		id := p.idents.New()
+		id.Name, id.Pos = name, pos
+		return id, nil
 
 	case p.tok.kind == tokNumber:
 		text := p.tok.text
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return decodeNumber(text, pos)
+		an := p.numbers.New()
+		if err := decodeNumberInto(an, text, pos); err != nil {
+			return nil, err
+		}
+		return an, nil
 
 	case p.isPunct("("):
 		if err := p.advance(); err != nil {
@@ -983,25 +1021,36 @@ func (p *parser) parsePrimary() (Expr, error) {
 
 // decodeNumber converts a Verilog literal into a Number.
 func decodeNumber(text string, pos Position) (*Number, error) {
+	n := &Number{}
+	if err := decodeNumberInto(n, text, pos); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// decodeNumberInto decodes a literal into an existing (arena-allocated)
+// Number, avoiding a per-literal allocation on the parse hot path.
+func decodeNumberInto(n *Number, text string, pos Position) error {
 	clean := strings.ReplaceAll(text, "_", "")
 	tick := strings.IndexByte(clean, '\'')
 	if tick < 0 {
 		v, err := strconv.ParseUint(clean, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%s: bad number %q: %v", pos, text, err)
+			return fmt.Errorf("%s: bad number %q: %v", pos, text, err)
 		}
-		return &Number{Value: v, Pos: pos}, nil
+		*n = Number{Value: v, Pos: pos}
+		return nil
 	}
 	width := 0
 	if tick > 0 {
 		w, err := strconv.Atoi(clean[:tick])
 		if err != nil {
-			return nil, fmt.Errorf("%s: bad width in %q: %v", pos, text, err)
+			return fmt.Errorf("%s: bad width in %q: %v", pos, text, err)
 		}
 		width = w
 	}
 	if tick+1 >= len(clean) {
-		return nil, fmt.Errorf("%s: bad literal %q", pos, text)
+		return fmt.Errorf("%s: bad literal %q", pos, text)
 	}
 	base := 10
 	switch clean[tick+1] {
@@ -1025,9 +1074,10 @@ func decodeNumber(text string, pos Position) (*Number, error) {
 	}, digits)
 	v, err := strconv.ParseUint(digits, base, 64)
 	if err != nil {
-		return nil, fmt.Errorf("%s: bad digits in %q: %v", pos, text, err)
+		return fmt.Errorf("%s: bad digits in %q: %v", pos, text, err)
 	}
-	return &Number{Width: width, Value: v, Pos: pos}, nil
+	*n = Number{Width: width, Value: v, Pos: pos}
+	return nil
 }
 
 // Normalize hoists parameter declarations from module items onto the module
